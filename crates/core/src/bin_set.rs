@@ -1,0 +1,270 @@
+//! Task bins and bin sets (Definition 1 of the paper).
+//!
+//! An `l`-cardinality task bin `b_l = <l, r_l, c_l>` can hold *up to* `l`
+//! distinct atomic tasks, gives each contained task confidence `r_l`, and
+//! costs `c_l` to post. A [`BinSet`] is the menu of bins available to the
+//! decomposer — in practice calibrated from marketplace probes (see the
+//! `slade-crowd` crate).
+
+use crate::error::SladeError;
+use crate::reliability;
+
+/// One task-bin type: cardinality, per-task confidence, posting cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskBin {
+    cardinality: u32,
+    confidence: f64,
+    cost: f64,
+    /// Cached `-ln(1 - confidence)`.
+    weight: f64,
+}
+
+impl TaskBin {
+    /// Builds a validated bin.
+    ///
+    /// Requirements: `cardinality >= 1`, `confidence ∈ (0, 1)` (exclusive:
+    /// `r = 1` would make a single bin infinitely reliable, `r = 0` makes it
+    /// useless), `cost > 0`.
+    pub fn new(cardinality: u32, confidence: f64, cost: f64) -> Result<Self, SladeError> {
+        if cardinality == 0 {
+            return Err(SladeError::InvalidBinSet(
+                "bin cardinality must be at least 1".into(),
+            ));
+        }
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(SladeError::InvalidBinSet(format!(
+                "bin confidence must lie in (0,1), got {confidence} for cardinality {cardinality}"
+            )));
+        }
+        if !(cost > 0.0) || !cost.is_finite() {
+            return Err(SladeError::InvalidBinSet(format!(
+                "bin cost must be positive and finite, got {cost} for cardinality {cardinality}"
+            )));
+        }
+        Ok(TaskBin {
+            cardinality,
+            confidence,
+            cost,
+            weight: reliability::weight(confidence),
+        })
+    }
+
+    /// Maximum number of distinct atomic tasks the bin can hold.
+    #[inline]
+    pub fn cardinality(&self) -> u32 {
+        self.cardinality
+    }
+
+    /// Per-task confidence `r_l`.
+    #[inline]
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// Posting cost `c_l`.
+    #[inline]
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Cached transformed weight `w_l = -ln(1 - r_l)`.
+    #[inline]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Average cost per contained task when the bin is filled: `c_l / l`.
+    #[inline]
+    pub fn cost_per_task(&self) -> f64 {
+        self.cost / self.cardinality as f64
+    }
+}
+
+/// A validated menu of task bins with pairwise-distinct cardinalities,
+/// stored in ascending cardinality order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinSet {
+    bins: Vec<TaskBin>,
+}
+
+impl BinSet {
+    /// Builds a bin set from `(cardinality, confidence, cost)` triples.
+    ///
+    /// Cardinalities must be pairwise distinct; the set may be sparse (e.g.
+    /// only cardinalities {1, 4, 9}).
+    pub fn new<I>(triples: I) -> Result<Self, SladeError>
+    where
+        I: IntoIterator<Item = (u32, f64, f64)>,
+    {
+        let mut bins: Vec<TaskBin> = triples
+            .into_iter()
+            .map(|(l, r, c)| TaskBin::new(l, r, c))
+            .collect::<Result<_, _>>()?;
+        if bins.is_empty() {
+            return Err(SladeError::InvalidBinSet(
+                "bin set must contain at least one bin".into(),
+            ));
+        }
+        bins.sort_by_key(TaskBin::cardinality);
+        for pair in bins.windows(2) {
+            if pair[0].cardinality() == pair[1].cardinality() {
+                return Err(SladeError::InvalidBinSet(format!(
+                    "duplicate cardinality {} in bin set",
+                    pair[0].cardinality()
+                )));
+            }
+        }
+        Ok(BinSet { bins })
+    }
+
+    /// The running example of the paper (Table 1):
+    /// `b1 = <1, 0.90, 0.10>`, `b2 = <2, 0.85, 0.18>`, `b3 = <3, 0.80, 0.24>`.
+    pub fn paper_example() -> Self {
+        BinSet::new([(1, 0.90, 0.10), (2, 0.85, 0.18), (3, 0.80, 0.24)])
+            .expect("paper example is statically valid")
+    }
+
+    /// Bins in ascending cardinality order.
+    #[inline]
+    pub fn bins(&self) -> &[TaskBin] {
+        &self.bins
+    }
+
+    /// Number of bin types `m = |B|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether the set is empty (never true for validated sets).
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// The bin with the given cardinality, if present.
+    pub fn get(&self, cardinality: u32) -> Option<&TaskBin> {
+        self.bins
+            .binary_search_by_key(&cardinality, TaskBin::cardinality)
+            .ok()
+            .map(|i| &self.bins[i])
+    }
+
+    /// Largest cardinality in the set.
+    pub fn max_cardinality(&self) -> u32 {
+        self.bins.last().map_or(0, TaskBin::cardinality)
+    }
+
+    /// Restriction of this set to bins of cardinality `<= max_cardinality`
+    /// (used by the paper's `|B|` sweeps, Fig. 6e–6h).
+    pub fn truncated(&self, max_cardinality: u32) -> Result<Self, SladeError> {
+        let bins: Vec<TaskBin> = self
+            .bins
+            .iter()
+            .filter(|b| b.cardinality() <= max_cardinality)
+            .cloned()
+            .collect();
+        if bins.is_empty() {
+            return Err(SladeError::InvalidBinSet(format!(
+                "truncation to max cardinality {max_cardinality} leaves no bins"
+            )));
+        }
+        Ok(BinSet { bins })
+    }
+
+    /// Smallest weight among the bins (used for enumeration-depth bounds).
+    pub fn min_weight(&self) -> f64 {
+        self.bins
+            .iter()
+            .map(TaskBin::weight)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The best (smallest) fractional cost of one unit of weight delivered to
+    /// one task: `min_l c_l / (l * w_l)`.
+    ///
+    /// `Σ_i θ_i * min_unit_weight_cost()` is a valid lower bound on the
+    /// optimal plan cost: a bin of cardinality `l` delivers at most `l·w_l`
+    /// units of weight for `c_l`.
+    pub fn min_unit_weight_cost(&self) -> f64 {
+        self.bins
+            .iter()
+            .map(|b| b.cost() / (b.cardinality() as f64 * b.weight()))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_matches_table1() {
+        let b = BinSet::paper_example();
+        assert_eq!(b.len(), 3);
+        let b2 = b.get(2).unwrap();
+        assert_eq!(b2.confidence(), 0.85);
+        assert_eq!(b2.cost(), 0.18);
+        assert!((b2.cost_per_task() - 0.09).abs() < 1e-12);
+        assert_eq!(b.max_cardinality(), 3);
+    }
+
+    #[test]
+    fn bins_are_sorted_by_cardinality() {
+        let b = BinSet::new([(3, 0.8, 0.24), (1, 0.9, 0.1)]).unwrap();
+        let cards: Vec<u32> = b.bins().iter().map(TaskBin::cardinality).collect();
+        assert_eq!(cards, vec![1, 3]);
+    }
+
+    #[test]
+    fn duplicate_cardinality_rejected() {
+        let e = BinSet::new([(2, 0.8, 0.2), (2, 0.9, 0.3)]).unwrap_err();
+        assert!(matches!(e, SladeError::InvalidBinSet(_)));
+    }
+
+    #[test]
+    fn invalid_bins_rejected() {
+        assert!(TaskBin::new(0, 0.9, 0.1).is_err());
+        assert!(TaskBin::new(1, 0.0, 0.1).is_err());
+        assert!(TaskBin::new(1, 1.0, 0.1).is_err());
+        assert!(TaskBin::new(1, 0.9, 0.0).is_err());
+        assert!(TaskBin::new(1, 0.9, -1.0).is_err());
+        assert!(TaskBin::new(1, 0.9, f64::INFINITY).is_err());
+        assert!(BinSet::new(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn sparse_cardinalities_are_allowed() {
+        let b = BinSet::new([(1, 0.9, 0.1), (5, 0.7, 0.3)]).unwrap();
+        assert!(b.get(3).is_none());
+        assert_eq!(b.get(5).unwrap().cardinality(), 5);
+    }
+
+    #[test]
+    fn truncation_filters_large_bins() {
+        let b = BinSet::paper_example();
+        let t = b.truncated(2).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.max_cardinality(), 2);
+        assert!(b.truncated(0).is_err());
+    }
+
+    #[test]
+    fn weight_is_cached_correctly() {
+        let b = TaskBin::new(2, 0.85, 0.18).unwrap();
+        assert!((b.weight() - crate::reliability::weight(0.85)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn min_unit_weight_cost_matches_hand_computation() {
+        let b = BinSet::paper_example();
+        // c/(l*w): 0.1/2.3026 = 0.0434; 0.18/(2*1.8971) = 0.0474;
+        // 0.24/(3*1.6094) = 0.0497. Min = b1's.
+        assert!((b.min_unit_weight_cost() - 0.1 / (1.0 * 2.302_585_092_994_046)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_weight_is_smallest_bin_weight() {
+        let b = BinSet::paper_example();
+        assert!((b.min_weight() - crate::reliability::weight(0.8)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type shared across the SLADE solvers.
+
+use std::fmt;
+
+/// Errors raised while building SLADE inputs or solving instances.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SladeError {
+    /// A bin set failed validation (empty, duplicate cardinality, confidence
+    /// or cost out of range, ...). The payload describes the violation.
+    InvalidBinSet(String),
+    /// A workload failed validation (zero tasks or a threshold outside
+    /// `(0, 1)`).
+    InvalidWorkload(String),
+    /// A solver that only supports homogeneous workloads received a
+    /// heterogeneous one.
+    HeterogeneousUnsupported {
+        /// Name of the rejecting solver.
+        solver: &'static str,
+    },
+    /// The OPQ enumeration produced no feasible combination within its
+    /// configured depth limit (only possible with extreme thresholds or a
+    /// tightened [`crate::opq::OpqConfig`]).
+    EmptyEnumeration,
+    /// The exact solver exceeded its node budget or task-count cap.
+    ExactBudgetExceeded {
+        /// Number of branch-and-bound nodes expanded before giving up.
+        nodes: u64,
+    },
+    /// The relaxed (rod-cutting) solver requires every bin confidence to meet
+    /// the maximum threshold; this instance violates that precondition.
+    NotRelaxed {
+        /// The offending bin cardinality.
+        cardinality: u32,
+        /// That bin's confidence.
+        confidence: f64,
+        /// The workload's maximum threshold.
+        t_max: f64,
+    },
+    /// The baseline's covering-program substrate reported an error.
+    Covering(String),
+    /// A plan references data inconsistent with the instance (unknown bin
+    /// cardinality, out-of-range task, duplicate task within one bin, ...).
+    InvalidPlan(String),
+}
+
+impl fmt::Display for SladeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SladeError::InvalidBinSet(msg) => write!(f, "invalid bin set: {msg}"),
+            SladeError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            SladeError::HeterogeneousUnsupported { solver } => {
+                write!(
+                    f,
+                    "solver `{solver}` supports only homogeneous workloads; \
+                     use OpqExtended, Greedy, or Baseline for per-task thresholds"
+                )
+            }
+            SladeError::EmptyEnumeration => {
+                write!(f, "OPQ enumeration found no feasible bin combination")
+            }
+            SladeError::ExactBudgetExceeded { nodes } => {
+                write!(f, "exact solver exceeded its budget after {nodes} nodes")
+            }
+            SladeError::NotRelaxed {
+                cardinality,
+                confidence,
+                t_max,
+            } => write!(
+                f,
+                "relaxed solver precondition violated: bin of cardinality {cardinality} \
+                 has confidence {confidence} < maximum threshold {t_max}"
+            ),
+            SladeError::Covering(msg) => write!(f, "baseline covering program: {msg}"),
+            SladeError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SladeError {}
+
+impl From<slade_lp::covering::CoveringError> for SladeError {
+    fn from(e: slade_lp::covering::CoveringError) -> Self {
+        SladeError::Covering(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SladeError::HeterogeneousUnsupported { solver: "OpqBased" };
+        assert!(e.to_string().contains("OpqBased"));
+        let e = SladeError::NotRelaxed {
+            cardinality: 3,
+            confidence: 0.8,
+            t_max: 0.9,
+        };
+        assert!(e.to_string().contains("cardinality 3"));
+        let e = SladeError::ExactBudgetExceeded { nodes: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn covering_errors_convert() {
+        let ce = slade_lp::covering::CoveringError::Infeasible;
+        let se: SladeError = ce.into();
+        assert!(matches!(se, SladeError::Covering(_)));
+    }
+}

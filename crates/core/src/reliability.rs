@@ -1,0 +1,145 @@
+//! Log-space reliability arithmetic (§4.1 of the paper).
+//!
+//! The reliability of an atomic task assigned to bins with confidences
+//! `r_1..r_k` is `Rel = 1 - Π (1 - r_j)` — the probability that at least one
+//! bin answers it correctly. The paper's key reduction rewrites the
+//! constraint `Rel >= t` additively:
+//!
+//! ```text
+//! -ln(1 - Rel) = Σ -ln(1 - r_j)  >=  -ln(1 - t)
+//! ```
+//!
+//! We call `w(r) = -ln(1 - r)` the *weight* of a confidence and
+//! `θ(t) = -ln(1 - t)` the *transformed threshold*. All solvers in this crate
+//! operate on weights and thetas; this module centralizes the conversions and
+//! their numerical-stability concerns (`ln_1p` near `r → 1`).
+
+/// Absolute tolerance used when comparing accumulated weights against
+/// transformed thresholds.
+///
+/// Weights are sums of a handful of `-ln(1-r)` terms, each of magnitude
+/// `O(1)`; `1e-9` absorbs the associated rounding while staying far below any
+/// meaningful reliability difference.
+pub const WEIGHT_EPS: f64 = 1e-9;
+
+/// Transformed weight `w(r) = -ln(1 - r)` of a bin confidence.
+///
+/// Computed as `-ln_1p(-r)` for accuracy when `r` is close to 1.
+///
+/// # Panics
+/// Debug-asserts `r ∈ (0, 1)`; release builds clamp nothing and propagate
+/// whatever `ln_1p` yields.
+#[inline]
+pub fn weight(confidence: f64) -> f64 {
+    debug_assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must lie in (0,1), got {confidence}"
+    );
+    -(-confidence).ln_1p()
+}
+
+/// Transformed threshold `θ(t) = -ln(1 - t)`.
+#[inline]
+pub fn theta(threshold: f64) -> f64 {
+    debug_assert!(
+        threshold > 0.0 && threshold < 1.0,
+        "threshold must lie in (0,1), got {threshold}"
+    );
+    -(-threshold).ln_1p()
+}
+
+/// Inverse transform: the confidence/reliability whose weight is `w`.
+///
+/// `confidence_from_weight(weight(r)) == r` up to floating-point error.
+#[inline]
+pub fn confidence_from_weight(w: f64) -> f64 {
+    debug_assert!(w >= 0.0, "weights are nonnegative, got {w}");
+    -(-w).exp_m1()
+}
+
+/// Reliability `1 - Π (1 - r_j)` of a task covered by bins with the given
+/// confidences, computed stably in log space.
+pub fn reliability<I: IntoIterator<Item = f64>>(confidences: I) -> f64 {
+    let total: f64 = confidences.into_iter().map(weight).sum();
+    confidence_from_weight(total)
+}
+
+/// Whether an accumulated `weight_sum` satisfies a transformed threshold
+/// `theta`, within [`WEIGHT_EPS`].
+#[inline]
+pub fn satisfies(weight_sum: f64, theta: f64) -> bool {
+    weight_sum + WEIGHT_EPS >= theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_matches_definition() {
+        for r in [0.1, 0.5, 0.8, 0.9, 0.99] {
+            assert!((weight(r) - -(1.0 - r).ln()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn paper_running_example_weights() {
+        // Table 1: r = 0.9, 0.85, 0.8 and threshold t = 0.95.
+        assert!((weight(0.9) - 2.302585).abs() < 1e-5);
+        assert!((weight(0.85) - 1.897120).abs() < 1e-5);
+        assert!((weight(0.8) - 1.609438).abs() < 1e-5);
+        assert!((theta(0.95) - 2.995732).abs() < 1e-5);
+    }
+
+    #[test]
+    fn example7_opq_feasibility_check() {
+        // "2 × (-ln(1-0.8)) = 3.22 > -ln(1-0.95) = 2.996" (Example 7).
+        assert!(satisfies(2.0 * weight(0.8), theta(0.95)));
+        // One b3 alone is not enough.
+        assert!(!satisfies(weight(0.8), theta(0.95)));
+    }
+
+    #[test]
+    fn round_trip_inverse() {
+        for r in [0.01, 0.3, 0.632, 0.86, 0.999] {
+            let w = weight(r);
+            assert!((confidence_from_weight(w) - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reliability_of_two_bins_matches_example4() {
+        // Example 4: two bins of confidence 0.85 give 1-(0.15)^2 = 0.9775.
+        let rel = reliability([0.85, 0.85]);
+        assert!((rel - 0.9775).abs() < 1e-12);
+        assert!(rel > 0.95);
+    }
+
+    #[test]
+    fn weight_is_stable_near_one() {
+        // 1 - r = 1e-15: naive (1.0 - r).ln() loses all precision.
+        let r = 1.0 - 1e-15;
+        let w = weight(r);
+        assert!((w - 34.538776394910684).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reliability_is_monotone_in_coverage() {
+        let one = reliability([0.6]);
+        let two = reliability([0.6, 0.6]);
+        let three = reliability([0.6, 0.6, 0.6]);
+        assert!(one < two && two < three && three < 1.0);
+    }
+
+    #[test]
+    fn hetero_example_thetas() {
+        // Example 10: thresholds 0.5, 0.6, 0.86 -> θ = 0.69, 0.92, 1.97.
+        assert!((theta(0.5) - 0.6931).abs() < 1e-4);
+        assert!((theta(0.6) - 0.9163).abs() < 1e-4);
+        assert!((theta(0.86) - 1.9661).abs() < 1e-4);
+        // Paper's Example 10 prints θ(0.7) as 1.61; the correct value is
+        // 1.204 (1.609 is θ(0.8)). We implement the math, not the typo.
+        assert!((theta(0.7) - 1.2040).abs() < 1e-4);
+        assert!((theta(0.8) - 1.6094).abs() < 1e-4);
+    }
+}

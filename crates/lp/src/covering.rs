@@ -1,0 +1,639 @@
+//! Sparse covering programs: `min c·y  s.t.  U y >= v,  y >= 0` (optionally
+//! integral `y`).
+//!
+//! This is the exact shape the SLADE baseline produces (§4.3 of the paper):
+//! one row per atomic task with demand `v_i = -ln(1 - t_i)`, one column per
+//! *combination instance* (a concrete bin filled with concrete tasks), entry
+//! `u_ij = -ln(1 - r_l)` when task `i` is in instance `j`, and unbounded
+//! integer multiplicities (a bin instance may be re-posted to more workers).
+//!
+//! Three solvers are provided:
+//!
+//! * [`CoveringProblem::greedy_multicover`] — integral lazy greedy
+//!   (the classic `H_n`-approximate set-multicover algorithm, implemented with
+//!   lazy evaluation so it scales to hundreds of thousands of rows);
+//! * [`CoveringProblem::fractional_greedy`] — fractional greedy with
+//!   saturation-sized steps; every step saturates at least one row, so it
+//!   terminates in at most `n_rows` steps and yields an `ln n`-approximate
+//!   fractional solution usable as an LP surrogate at scale;
+//! * [`CoveringProblem::randomized_rounding`] — Vazirani-style randomized
+//!   rounding of a fractional solution (scale by an inflation factor, round
+//!   randomly, then greedily repair any uncovered demand).
+//!
+//! For small instances, [`CoveringProblem::to_linear_program`] exports the
+//! exact LP relaxation for the [`crate::simplex`] solver.
+
+use crate::simplex::{Constraint, LinearProgram, Relation};
+use crate::EPSILON;
+use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// A column of a covering program: a cost plus sparse `(row, weight)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseColumn {
+    /// Cost of using this column once.
+    pub cost: f64,
+    /// `(row index, contribution weight)` pairs; rows must be in range and
+    /// weights strictly positive.
+    pub entries: Vec<(u32, f64)>,
+}
+
+impl SparseColumn {
+    /// Creates a column.
+    pub fn new(cost: f64, entries: Vec<(u32, f64)>) -> Self {
+        SparseColumn { cost, entries }
+    }
+}
+
+/// Errors from building or solving covering programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoveringError {
+    /// A column references a row index `>= n_rows`.
+    RowOutOfRange {
+        /// Offending column.
+        column: usize,
+        /// Offending row index.
+        row: u32,
+    },
+    /// A demand, cost, or weight was non-finite or non-positive where
+    /// positivity is required.
+    InvalidValue(&'static str),
+    /// No combination of columns can satisfy every demand.
+    Infeasible,
+    /// A solution vector had the wrong length.
+    SolutionLength {
+        /// Provided length.
+        got: usize,
+        /// Expected length (number of columns).
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CoveringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoveringError::RowOutOfRange { column, row } => {
+                write!(f, "column {column} references out-of-range row {row}")
+            }
+            CoveringError::InvalidValue(what) => write!(f, "invalid value: {what}"),
+            CoveringError::Infeasible => write!(f, "covering program is infeasible"),
+            CoveringError::SolutionLength { got, expected } => {
+                write!(f, "solution has length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoveringError {}
+
+/// A (fractional or integral) solution to a covering program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoveringSolution {
+    /// Multiplicity per column (integral solvers return whole numbers).
+    pub counts: Vec<f64>,
+    /// Total cost `c · counts`.
+    pub cost: f64,
+}
+
+/// A sparse covering program.
+#[derive(Debug, Clone)]
+pub struct CoveringProblem {
+    demands: Vec<f64>,
+    columns: Vec<SparseColumn>,
+}
+
+impl CoveringProblem {
+    /// Builds and validates a covering program.
+    ///
+    /// Demands must be strictly positive and finite; weights strictly
+    /// positive; costs nonnegative; row indices in range.
+    pub fn new(demands: Vec<f64>, columns: Vec<SparseColumn>) -> Result<Self, CoveringError> {
+        if !demands.iter().all(|v| v.is_finite() && *v > 0.0) {
+            return Err(CoveringError::InvalidValue(
+                "demands must be positive and finite",
+            ));
+        }
+        let n = demands.len() as u32;
+        for (j, col) in columns.iter().enumerate() {
+            if !col.cost.is_finite() || col.cost < 0.0 {
+                return Err(CoveringError::InvalidValue(
+                    "column costs must be nonnegative and finite",
+                ));
+            }
+            for &(row, w) in &col.entries {
+                if row >= n {
+                    return Err(CoveringError::RowOutOfRange { column: j, row });
+                }
+                if !w.is_finite() || w <= 0.0 {
+                    return Err(CoveringError::InvalidValue(
+                        "column weights must be positive and finite",
+                    ));
+                }
+            }
+        }
+        Ok(CoveringProblem { demands, columns })
+    }
+
+    /// Number of rows (constraints).
+    pub fn n_rows(&self) -> usize {
+        self.demands.len()
+    }
+
+    /// Number of columns (variables).
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The demand vector.
+    pub fn demands(&self) -> &[f64] {
+        &self.demands
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[SparseColumn] {
+        &self.columns
+    }
+
+    /// Residual demand per row under multiplicities `counts`.
+    pub fn residuals(&self, counts: &[f64]) -> Result<Vec<f64>, CoveringError> {
+        if counts.len() != self.columns.len() {
+            return Err(CoveringError::SolutionLength {
+                got: counts.len(),
+                expected: self.columns.len(),
+            });
+        }
+        let mut res = self.demands.clone();
+        for (col, &y) in self.columns.iter().zip(counts) {
+            if y > 0.0 {
+                for &(row, w) in &col.entries {
+                    res[row as usize] -= w * y;
+                }
+            }
+        }
+        for r in &mut res {
+            if *r < 0.0 {
+                *r = 0.0;
+            }
+        }
+        Ok(res)
+    }
+
+    /// Whether `counts` satisfies every demand (within tolerance).
+    pub fn is_satisfied(&self, counts: &[f64]) -> Result<bool, CoveringError> {
+        Ok(self
+            .residuals(counts)?
+            .iter()
+            .all(|&r| r <= 1e-7 * (1.0 + r.abs())))
+    }
+
+    /// Total cost of `counts`.
+    pub fn cost_of(&self, counts: &[f64]) -> f64 {
+        self.columns
+            .iter()
+            .zip(counts)
+            .map(|(c, &y)| c.cost * y)
+            .sum()
+    }
+
+    /// Exports the LP relaxation for the dense simplex solver.
+    ///
+    /// Only sensible for small instances (the tableau is dense).
+    pub fn to_linear_program(&self) -> LinearProgram {
+        let costs: Vec<f64> = self.columns.iter().map(|c| c.cost).collect();
+        let mut lp = LinearProgram::minimize(costs);
+        for (i, &v) in self.demands.iter().enumerate() {
+            let mut coeffs = vec![0.0; self.columns.len()];
+            for (j, col) in self.columns.iter().enumerate() {
+                for &(row, w) in &col.entries {
+                    if row as usize == i {
+                        coeffs[j] += w;
+                    }
+                }
+            }
+            lp.push(Constraint::new(coeffs, Relation::Ge, v));
+        }
+        lp
+    }
+
+    /// Integral lazy-greedy set-multicover.
+    ///
+    /// Repeatedly applies the column with the best cost-effectiveness ratio
+    /// `cost_j / Σ_i min(u_ij, residual_i)`. Effectiveness is monotone
+    /// non-increasing as residuals shrink, so stale heap keys are lower
+    /// bounds on the true ratio and lazy re-evaluation is sound.
+    pub fn greedy_multicover(&self) -> Result<CoveringSolution, CoveringError> {
+        let mut residual = self.demands.clone();
+        let mut counts = vec![0.0; self.columns.len()];
+        self.lazy_greedy_into(&mut residual, &mut counts)?;
+        let cost = self.cost_of(&counts);
+        Ok(CoveringSolution { counts, cost })
+    }
+
+    /// Fractional greedy covering.
+    ///
+    /// At each step the best-ratio column is applied with the largest step
+    /// that does not overshoot any of its unsaturated rows, so every step
+    /// saturates at least one row and the loop runs at most `n_rows` times.
+    /// The result is a feasible fractional solution within an `ln n` factor
+    /// of the LP optimum — the scalable stand-in for the exact LP relaxation
+    /// in the SLADE baseline.
+    pub fn fractional_greedy(&self) -> Result<CoveringSolution, CoveringError> {
+        let mut residual = self.demands.clone();
+        let mut counts = vec![0.0; self.columns.len()];
+        let mut heap = self.build_heap(&residual);
+        let mut stamps = vec![0u32; self.columns.len()];
+
+        while residual.iter().any(|&r| r > EPSILON) {
+            let j = self.pop_best(&mut heap, &mut stamps, &residual)?;
+            // Largest step that keeps every covered row's contribution useful:
+            // stop when the first currently-unsaturated covered row saturates.
+            let mut step = f64::INFINITY;
+            for &(row, w) in &self.columns[j].entries {
+                let r = residual[row as usize];
+                if r > EPSILON {
+                    step = step.min(r / w);
+                }
+            }
+            debug_assert!(step.is_finite() && step > 0.0);
+            counts[j] += step;
+            for &(row, w) in &self.columns[j].entries {
+                let r = &mut residual[row as usize];
+                *r = (*r - w * step).max(0.0);
+            }
+            // The column may still be useful later; reinsert with fresh key.
+            if let Some(key) = self.ratio(j, &residual) {
+                stamps[j] += 1;
+                heap.push(HeapEntry {
+                    ratio: key,
+                    col: j,
+                    stamp: stamps[j],
+                });
+            }
+        }
+        let cost = self.cost_of(&counts);
+        Ok(CoveringSolution { counts, cost })
+    }
+
+    /// Randomized rounding with greedy repair (Vazirani, *Approximation
+    /// Algorithms*, covering chapters).
+    ///
+    /// Each fractional `y_j` is inflated by `inflation`, split into an
+    /// integral floor plus a Bernoulli trial on the fractional remainder, and
+    /// any residual demand is repaired with the integral lazy greedy.
+    ///
+    /// `inflation` is typically `O(ln n_rows)`; [`suggested_inflation`] gives
+    /// the standard choice.
+    pub fn randomized_rounding<R: Rng + ?Sized>(
+        &self,
+        fractional: &[f64],
+        inflation: f64,
+        rng: &mut R,
+    ) -> Result<CoveringSolution, CoveringError> {
+        if fractional.len() != self.columns.len() {
+            return Err(CoveringError::SolutionLength {
+                got: fractional.len(),
+                expected: self.columns.len(),
+            });
+        }
+        if !inflation.is_finite() || inflation < 1.0 {
+            return Err(CoveringError::InvalidValue("inflation must be >= 1"));
+        }
+        let mut counts: Vec<f64> = fractional
+            .iter()
+            .map(|&y| {
+                let scaled = y * inflation;
+                let floor = scaled.floor();
+                let frac = scaled - floor;
+                let extra = if frac > 0.0 && rng.random::<f64>() < frac {
+                    1.0
+                } else {
+                    0.0
+                };
+                floor + extra
+            })
+            .collect();
+        let mut residual = self.residuals(&counts)?;
+        self.lazy_greedy_into(&mut residual, &mut counts)?;
+        let cost = self.cost_of(&counts);
+        Ok(CoveringSolution { counts, cost })
+    }
+
+    /// Core lazy-greedy loop adding *integral* multiplicities to `counts`
+    /// until `residual` is fully covered.
+    fn lazy_greedy_into(
+        &self,
+        residual: &mut [f64],
+        counts: &mut [f64],
+    ) -> Result<(), CoveringError> {
+        if residual.iter().all(|&r| r <= EPSILON) {
+            return Ok(());
+        }
+        let mut heap = self.build_heap(residual);
+        let mut stamps = vec![0u32; self.columns.len()];
+        while residual.iter().any(|&r| r > EPSILON) {
+            let j = self.pop_best(&mut heap, &mut stamps, residual)?;
+            counts[j] += 1.0;
+            for &(row, w) in &self.columns[j].entries {
+                let r = &mut residual[row as usize];
+                *r = (*r - w).max(0.0);
+            }
+            if let Some(key) = self.ratio(j, residual) {
+                stamps[j] += 1;
+                heap.push(HeapEntry {
+                    ratio: key,
+                    col: j,
+                    stamp: stamps[j],
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Cost-effectiveness ratio of column `j` under `residual`; `None` when
+    /// the column no longer contributes.
+    fn ratio(&self, j: usize, residual: &[f64]) -> Option<f64> {
+        let col = &self.columns[j];
+        let eff: f64 = col
+            .entries
+            .iter()
+            .map(|&(row, w)| w.min(residual[row as usize]))
+            .sum();
+        if eff > EPSILON {
+            Some(col.cost / eff)
+        } else {
+            None
+        }
+    }
+
+    fn build_heap(&self, residual: &[f64]) -> BinaryHeap<HeapEntry> {
+        let mut heap = BinaryHeap::with_capacity(self.columns.len());
+        for j in 0..self.columns.len() {
+            if let Some(ratio) = self.ratio(j, residual) {
+                heap.push(HeapEntry {
+                    ratio,
+                    col: j,
+                    stamp: 0,
+                });
+            }
+        }
+        heap
+    }
+
+    /// Pops the truly-best column under lazy re-evaluation.
+    fn pop_best(
+        &self,
+        heap: &mut BinaryHeap<HeapEntry>,
+        stamps: &mut [u32],
+        residual: &[f64],
+    ) -> Result<usize, CoveringError> {
+        while let Some(top) = heap.pop() {
+            if top.stamp != stamps[top.col] {
+                continue; // superseded entry
+            }
+            let Some(fresh) = self.ratio(top.col, residual) else {
+                continue; // column no longer useful
+            };
+            if fresh <= top.ratio + EPSILON {
+                // Key was (still) accurate enough: ratios only grow, so if the
+                // recomputed key does not exceed the stale one the column is
+                // still at least as good as everything below it in the heap.
+                return Ok(top.col);
+            }
+            // Ratio degraded; reinsert with the fresh key and keep looking.
+            stamps[top.col] += 1;
+            heap.push(HeapEntry {
+                ratio: fresh,
+                col: top.col,
+                stamp: stamps[top.col],
+            });
+        }
+        Err(CoveringError::Infeasible)
+    }
+}
+
+/// Standard inflation factor for randomized rounding: `ln(n) + 2` — enough
+/// to make per-row failure probability `O(1/n)` before repair.
+pub fn suggested_inflation(n_rows: usize) -> f64 {
+    (n_rows.max(2) as f64).ln() + 2.0
+}
+
+/// Min-heap entry over f64 ratios (BinaryHeap is a max-heap, so order is
+/// reversed). `stamp` invalidates superseded entries.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    ratio: f64,
+    col: usize,
+    stamp: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.ratio == other.ratio && self.col == other.col
+    }
+}
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smaller ratio = "greater" so it pops first. Ties by column
+        // index for determinism.
+        other
+            .ratio
+            .partial_cmp(&self.ratio)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.col.cmp(&self.col))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::LpOutcome;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two rows, three columns; column 2 covers both rows cheaply.
+    fn small_problem() -> CoveringProblem {
+        CoveringProblem::new(
+            vec![1.0, 1.0],
+            vec![
+                SparseColumn::new(1.0, vec![(0, 1.0)]),
+                SparseColumn::new(1.0, vec![(1, 1.0)]),
+                SparseColumn::new(1.5, vec![(0, 1.0), (1, 1.0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn greedy_picks_the_shared_column() {
+        let p = small_problem();
+        let sol = p.greedy_multicover().unwrap();
+        assert!(p.is_satisfied(&sol.counts).unwrap());
+        // Shared column ratio 0.75 beats 1.0; one use suffices.
+        assert_eq!(sol.counts, vec![0.0, 0.0, 1.0]);
+        assert!((sol.cost - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_handles_multicover_demands() {
+        // Demand 3 on a single row with unit weights: needs 3 copies.
+        let p = CoveringProblem::new(vec![3.0], vec![SparseColumn::new(2.0, vec![(0, 1.0)])])
+            .unwrap();
+        let sol = p.greedy_multicover().unwrap();
+        assert_eq!(sol.counts, vec![3.0]);
+        assert!((sol.cost - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_detects_infeasible() {
+        let p = CoveringProblem::new(
+            vec![1.0, 1.0],
+            vec![SparseColumn::new(1.0, vec![(0, 1.0)])], // row 1 uncoverable
+        )
+        .unwrap();
+        assert_eq!(p.greedy_multicover(), Err(CoveringError::Infeasible));
+    }
+
+    #[test]
+    fn fractional_greedy_is_feasible_and_cheap() {
+        let p = small_problem();
+        let sol = p.fractional_greedy().unwrap();
+        assert!(p.is_satisfied(&sol.counts).unwrap());
+        // Fractional optimum here is 1.5 (one unit of shared column).
+        assert!(sol.cost <= 2.0 + 1e-9, "cost = {}", sol.cost);
+    }
+
+    #[test]
+    fn fractional_greedy_takes_saturating_steps() {
+        // Demand 2.5 with weight 1: single column should step 2.5 exactly.
+        let p = CoveringProblem::new(vec![2.5], vec![SparseColumn::new(1.0, vec![(0, 1.0)])])
+            .unwrap();
+        let sol = p.fractional_greedy().unwrap();
+        assert!((sol.counts[0] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rounding_is_feasible_and_bounded() {
+        let p = small_problem();
+        let frac = p.fractional_greedy().unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let sol = p
+            .randomized_rounding(&frac.counts, suggested_inflation(p.n_rows()), &mut rng)
+            .unwrap();
+        assert!(p.is_satisfied(&sol.counts).unwrap());
+        for &c in &sol.counts {
+            assert_eq!(c.fract(), 0.0, "rounded counts must be integral");
+        }
+    }
+
+    #[test]
+    fn rounding_rejects_bad_inflation() {
+        let p = small_problem();
+        let frac = vec![0.0, 0.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            p.randomized_rounding(&frac, 0.5, &mut rng),
+            Err(CoveringError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn lp_relaxation_lower_bounds_greedy() {
+        let p = small_problem();
+        let lp = p.to_linear_program();
+        let LpOutcome::Optimal(lp_sol) = lp.solve().unwrap() else {
+            panic!("LP should be feasible and bounded");
+        };
+        let greedy = p.greedy_multicover().unwrap();
+        assert!(lp_sol.objective <= greedy.cost + 1e-9);
+        // Known LP optimum: 1.5 via the shared column.
+        assert!((lp_sol.objective - 1.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn residuals_clamp_at_zero() {
+        let p = small_problem();
+        let res = p.residuals(&[5.0, 0.0, 0.0]).unwrap();
+        assert_eq!(res, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_input() {
+        assert!(CoveringProblem::new(vec![0.0], vec![]).is_err());
+        assert!(CoveringProblem::new(vec![1.0], vec![SparseColumn::new(-1.0, vec![])]).is_err());
+        assert!(
+            CoveringProblem::new(vec![1.0], vec![SparseColumn::new(1.0, vec![(3, 1.0)])]).is_err()
+        );
+        assert!(
+            CoveringProblem::new(vec![1.0], vec![SparseColumn::new(1.0, vec![(0, 0.0)])]).is_err()
+        );
+    }
+
+    #[test]
+    fn solution_length_mismatch_is_reported() {
+        let p = small_problem();
+        assert!(matches!(
+            p.residuals(&[1.0]),
+            Err(CoveringError::SolutionLength {
+                got: 1,
+                expected: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn larger_randomized_instance_all_solvers_agree_on_feasibility() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(42);
+        let n_rows = 60usize;
+        let demands: Vec<f64> = (0..n_rows).map(|_| rng.random_range(0.5..3.0)).collect();
+        let mut columns = Vec::new();
+        // Singleton columns guarantee feasibility.
+        for i in 0..n_rows {
+            columns.push(SparseColumn::new(
+                rng.random_range(0.5..2.0),
+                vec![(i as u32, rng.random_range(0.5..1.5))],
+            ));
+        }
+        // Random wide columns.
+        for _ in 0..40 {
+            let k = rng.random_range(2..6);
+            let mut rows: Vec<u32> = (0..k)
+                .map(|_| rng.random_range(0..n_rows as u32))
+                .collect();
+            rows.sort_unstable();
+            rows.dedup();
+            let entries = rows
+                .into_iter()
+                .map(|r| (r, rng.random_range(0.5..1.5)))
+                .collect();
+            columns.push(SparseColumn::new(rng.random_range(0.5..3.0), entries));
+        }
+        let p = CoveringProblem::new(demands, columns).unwrap();
+        let greedy = p.greedy_multicover().unwrap();
+        assert!(p.is_satisfied(&greedy.counts).unwrap());
+        let frac = p.fractional_greedy().unwrap();
+        assert!(p.is_satisfied(&frac.counts).unwrap());
+        let rounded = p
+            .randomized_rounding(&frac.counts, suggested_inflation(n_rows), &mut rng)
+            .unwrap();
+        assert!(p.is_satisfied(&rounded.counts).unwrap());
+        // Fractional solution should not cost more than the integral greedy
+        // by a large margin (both are ln-approximations of the same LP).
+        assert!(frac.cost <= greedy.cost * 2.0 + 1.0);
+    }
+
+    #[test]
+    fn suggested_inflation_grows_with_rows() {
+        assert!(suggested_inflation(10) < suggested_inflation(10_000));
+        assert!(suggested_inflation(0) >= 2.0);
+    }
+}

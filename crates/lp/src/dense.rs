@@ -1,0 +1,192 @@
+//! Minimal dense row-major matrix used by the simplex tableau.
+//!
+//! This is deliberately small: the simplex solver needs contiguous rows for
+//! cache-friendly pivoting and nothing else. Values are `f64`; the matrix is
+//! not generic because the only consumer is the LP solver.
+
+/// A dense row-major matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a nested vector; every inner vector must have the
+    /// same length.
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in &rows {
+            assert_eq!(row.len(), ncols, "ragged rows in DenseMatrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow a whole row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        let start = r * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Borrow a whole row mutably.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        let start = r * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// Borrows two distinct rows, one immutably and one mutably.
+    ///
+    /// Used by the pivot kernel: `target -= factor * pivot_row` without
+    /// cloning the pivot row.
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    pub fn two_rows_mut(&mut self, a: usize, b: usize) -> (&mut [f64], &mut [f64]) {
+        assert_ne!(a, b, "two_rows_mut requires distinct rows");
+        let cols = self.cols;
+        if a < b {
+            let (lo, hi) = self.data.split_at_mut(b * cols);
+            (&mut lo[a * cols..a * cols + cols], &mut hi[..cols])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(a * cols);
+            let blo = &mut lo[b * cols..b * cols + cols];
+            (&mut hi[..cols], blo)
+        }
+    }
+
+    /// `row[b] -= factor * row[a]` as a fused kernel.
+    pub fn axpy_rows(&mut self, a: usize, b: usize, factor: f64) {
+        if factor == 0.0 {
+            return;
+        }
+        let (src, dst) = self.two_rows_mut(a, b);
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d -= factor * *s;
+        }
+    }
+
+    /// Scales row `r` by `factor`.
+    pub fn scale_row(&mut self, r: usize, factor: f64) {
+        for v in self.row_mut(r) {
+            *v *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_requested_shape() {
+        let m = DenseMatrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        for r in 0..3 {
+            for c in 0..4 {
+                assert_eq!(m.get(r, c), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let m = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged_input() {
+        DenseMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.set(1, 1, 7.5);
+        assert_eq!(m.get(1, 1), 7.5);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn axpy_subtracts_scaled_row() {
+        let mut m = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![10.0, 20.0]]);
+        m.axpy_rows(0, 1, 2.0);
+        assert_eq!(m.row(1), &[8.0, 16.0]);
+        // factor 0 is a no-op
+        m.axpy_rows(0, 1, 0.0);
+        assert_eq!(m.row(1), &[8.0, 16.0]);
+    }
+
+    #[test]
+    fn axpy_works_in_both_row_orders() {
+        let mut m = DenseMatrix::from_rows(vec![vec![1.0, 1.0], vec![4.0, 5.0]]);
+        m.axpy_rows(1, 0, 1.0);
+        assert_eq!(m.row(0), &[-3.0, -4.0]);
+    }
+
+    #[test]
+    fn scale_row_multiplies_in_place() {
+        let mut m = DenseMatrix::from_rows(vec![vec![2.0, -4.0]]);
+        m.scale_row(0, 0.5);
+        assert_eq!(m.row(0), &[1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct rows")]
+    fn two_rows_mut_rejects_same_row() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        let _ = m.two_rows_mut(1, 1);
+    }
+}

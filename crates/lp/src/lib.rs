@@ -1,0 +1,48 @@
+//! # slade-lp — linear-programming substrate for SLADE
+//!
+//! The SLADE paper's baseline algorithm (§4.3) reduces task decomposition to a
+//! *covering integer program* (CIP) and solves it with "existing methods",
+//! citing Vazirani's *Approximation Algorithms*: solve the LP relaxation and
+//! apply randomized rounding. This crate provides that substrate from scratch:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex solver with Bland's rule,
+//!   suitable for small and medium LPs and used to compute exact LP bounds in
+//!   tests and small benchmark instances.
+//! * [`covering`] — sparse covering-LP machinery that scales to hundreds of
+//!   thousands of rows: a width-independent multiplicative-weights fractional
+//!   solver (Young-style), the classic greedy set-multicover heuristic, and
+//!   randomized rounding with greedy repair.
+//! * [`dense`] — a minimal dense-matrix helper backing the simplex tableau.
+//!
+//! The crate is self-contained (no solver dependencies) and deterministic:
+//! every randomized routine takes a caller-provided RNG.
+//!
+//! ## Example
+//!
+//! ```
+//! use slade_lp::simplex::{LinearProgram, Constraint, Relation, LpOutcome};
+//!
+//! // minimize x + 2y  subject to  x + y >= 2,  y >= 0.5
+//! let lp = LinearProgram::minimize(vec![1.0, 2.0])
+//!     .with(Constraint::new(vec![1.0, 1.0], Relation::Ge, 2.0))
+//!     .with(Constraint::new(vec![0.0, 1.0], Relation::Ge, 0.5));
+//! match lp.solve().unwrap() {
+//!     LpOutcome::Optimal(sol) => {
+//!         assert!((sol.objective - 2.5).abs() < 1e-9);
+//!     }
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! ```
+
+pub mod covering;
+pub mod dense;
+pub mod simplex;
+
+pub use covering::{CoveringProblem, CoveringSolution, SparseColumn};
+pub use simplex::{Constraint, LinearProgram, LpError, LpOutcome, LpSolution, Relation};
+
+/// Numerical tolerance shared by the solvers in this crate.
+///
+/// Chosen so that textbook-sized examples with exact rational answers are
+/// recognized as optimal while staying far above accumulated f64 pivot noise.
+pub const EPSILON: f64 = 1e-9;

@@ -1,0 +1,17 @@
+//! # SLADE — Smart Large-scAle task DEcomposer
+//!
+//! Umbrella crate re-exporting the full SLADE stack:
+//!
+//! * [`core`](slade_core) — the decomposition algorithms (Greedy, OPQ-Based,
+//!   OPQ-Extended, the CIP baseline, exact and relaxed solvers).
+//! * [`lp`](slade_lp) — the linear-programming substrate used by the baseline.
+//! * [`crowd`](slade_crowd) — a crowdsourcing-marketplace simulator used to
+//!   calibrate task-bin parameters and execute decomposition plans.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use slade_core as core;
+pub use slade_crowd as crowd;
+pub use slade_lp as lp;
+
+pub use slade_core::prelude::*;
