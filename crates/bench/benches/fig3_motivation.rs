@@ -1,1 +1,25 @@
-fn main() {}
+//! Fig. 3 (motivation): decomposition cost of naive single-cardinality
+//! strategies versus SLADE's cost-aware mix, on the paper's Table-1 menu.
+//! Wired-but-minimal: a small fixed sweep; `SLADE_BENCH_FULL=1` enlarges it.
+
+use slade_bench::harness::full_sweep;
+use slade_bench::instances;
+use slade_core::prelude::*;
+
+fn main() {
+    let bins = instances::paper_bins();
+    let n: u32 = if full_sweep() { 10_000 } else { 120 };
+    let workload = instances::homogeneous(n, 0.95);
+
+    // Naive strategy: only use bins up to one cardinality.
+    for max_card in 1..=bins.max_cardinality() {
+        let restricted = bins.truncated(max_card).unwrap();
+        let plan = OpqBased::default().solve(&workload, &restricted).unwrap();
+        println!(
+            "fig3 n={n} strategy=only-card<={max_card} cost={:.4}",
+            plan.total_cost()
+        );
+    }
+    let plan = OpqBased::default().solve(&workload, &bins).unwrap();
+    println!("fig3 n={n} strategy=slade-mix cost={:.4}", plan.total_cost());
+}

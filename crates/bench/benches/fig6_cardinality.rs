@@ -1,1 +1,22 @@
-fn main() {}
+//! Fig. 6e–6h (homogeneous): cost versus bin-menu width `|B|`, on the
+//! synthetic menu of cardinalities `1..=m`. Wired-but-minimal.
+
+use slade_bench::harness::full_sweep;
+use slade_bench::{instances, sweeps};
+use slade_core::prelude::*;
+
+fn main() {
+    let n: u32 = if full_sweep() { 10_000 } else { 150 };
+    let workload = instances::homogeneous(n, 0.95);
+    for &m in sweeps::cardinality_grid(full_sweep()) {
+        let bins = instances::synthetic_bins(m);
+        for algorithm in [Algorithm::OpqBased, Algorithm::Greedy] {
+            let plan = algorithm.solve(&workload, &bins).unwrap();
+            assert!(plan.validate(&workload, &bins).unwrap().feasible);
+            println!(
+                "fig6-cardinality n={n} |B|={m} algorithm={algorithm} cost={:.4}",
+                plan.total_cost()
+            );
+        }
+    }
+}

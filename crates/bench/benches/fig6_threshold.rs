@@ -1,1 +1,22 @@
-fn main() {}
+//! Fig. 6c/6d (homogeneous): cost versus reliability threshold `t`.
+//! Wired-but-minimal.
+
+use slade_bench::harness::full_sweep;
+use slade_bench::{instances, sweeps};
+use slade_core::prelude::*;
+
+fn main() {
+    let bins = instances::paper_bins();
+    let n: u32 = if full_sweep() { 10_000 } else { 200 };
+    for t in sweeps::THRESHOLDS {
+        let workload = instances::homogeneous(n, t);
+        for algorithm in [Algorithm::OpqBased, Algorithm::Greedy, Algorithm::Baseline] {
+            let plan = algorithm.solve(&workload, &bins).unwrap();
+            assert!(plan.validate(&workload, &bins).unwrap().feasible);
+            println!(
+                "fig6-threshold n={n} t={t} algorithm={algorithm} cost={:.4}",
+                plan.total_cost()
+            );
+        }
+    }
+}

@@ -1,1 +1,27 @@
-fn main() {}
+//! Fig. 7 (heterogeneous): cost of OPQ-Extended versus the greedy and the
+//! CIP baseline under uniformly spread per-task thresholds.
+//! Wired-but-minimal.
+
+use slade_bench::harness::full_sweep;
+use slade_bench::{instances, sweeps};
+use slade_core::prelude::*;
+
+fn main() {
+    let bins = instances::paper_bins();
+    let n: u32 = if full_sweep() { 5_000 } else { 150 };
+    for (lo, hi) in sweeps::HETERO_RANGES {
+        let workload = instances::heterogeneous(n, lo, hi, 42);
+        for algorithm in [
+            Algorithm::OpqExtended,
+            Algorithm::Greedy,
+            Algorithm::Baseline,
+        ] {
+            let plan = algorithm.solve(&workload, &bins).unwrap();
+            assert!(plan.validate(&workload, &bins).unwrap().feasible);
+            println!(
+                "fig7 n={n} thresholds={lo}..{hi} algorithm={algorithm} cost={:.4}",
+                plan.total_cost()
+            );
+        }
+    }
+}

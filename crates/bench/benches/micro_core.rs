@@ -1,1 +1,55 @@
-fn main() {}
+//! Micro-benchmarks of the hot paths in `slade-core`: the log-space
+//! reliability transform, OPQ enumeration, and the solvers on a mid-size
+//! homogeneous instance. This is the workspace's primary regression
+//! benchmark; the `fig*` targets mirror the paper's figures instead.
+
+use slade_bench::harness::{black_box, full_sweep, Harness};
+use slade_bench::{instances, sweeps};
+use slade_core::opq::{CombinationKey, OpqConfig, OptimalPriorityQueue};
+use slade_core::prelude::*;
+use slade_core::reliability;
+
+fn main() {
+    let harness = if full_sweep() {
+        Harness::default()
+    } else {
+        Harness::quick()
+    };
+    let bins = instances::paper_bins();
+    let n: u32 = if full_sweep() { 100_000 } else { 2_000 };
+    let workload = instances::homogeneous(n, 0.95);
+
+    harness.bench("reliability::weight x1000", || {
+        let mut acc = 0.0;
+        for i in 1..1_000 {
+            acc += reliability::weight(black_box(f64::from(i) / 1_000.0));
+        }
+        black_box(acc);
+    });
+
+    harness.bench("opq::enumerate_16(t=0.999)", || {
+        let mut opq = OptimalPriorityQueue::new(
+            black_box(&bins),
+            reliability::theta(0.999),
+            CombinationKey::PerTaskPrice,
+            OpqConfig::default(),
+        );
+        black_box(opq.take_feasible(16));
+    });
+
+    harness.bench(&format!("opq_based::solve(n={n})"), || {
+        black_box(OpqBased::default().solve(black_box(&workload), &bins)).unwrap();
+    });
+
+    // The greedy's O(n² log n) loop is capped until DESIGN.md seam #1 lands.
+    let greedy_n = n.min(sweeps::QUADRATIC_SOLVER_MAX_N);
+    let greedy_workload = instances::homogeneous(greedy_n, 0.95);
+    harness.bench(&format!("greedy::solve(n={greedy_n})"), || {
+        black_box(Greedy.solve(black_box(&greedy_workload), &bins)).unwrap();
+    });
+
+    let plan = OpqBased::default().solve(&workload, &bins).unwrap();
+    harness.bench(&format!("plan::validate(n={n})"), || {
+        black_box(plan.validate(black_box(&workload), &bins)).unwrap();
+    });
+}

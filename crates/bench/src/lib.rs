@@ -1,0 +1,258 @@
+//! # slade-bench — benchmark harness and instance generators
+//!
+//! The workspace builds offline, so criterion is unavailable; [`harness`] is
+//! a small self-contained replacement (calibrated warm-up, batched timing,
+//! median-of-batches reporting) that the `benches/` targets and the
+//! `figures` binary share. [`instances`] generates the workloads and bin
+//! menus used by the paper's figure sweeps.
+//!
+//! Bench targets run *miniature* sweeps by default so that `cargo test` and
+//! `cargo bench` stay fast; set `SLADE_BENCH_FULL=1` for paper-scale runs.
+
+pub mod harness {
+    //! Minimal wall-clock benchmarking: warm up, time fixed-size batches,
+    //! report the median batch.
+
+    pub use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// Result of one benchmark case.
+    #[derive(Debug, Clone)]
+    pub struct BenchResult {
+        /// Case label.
+        pub name: String,
+        /// Iterations per timed batch.
+        pub batch_iters: u32,
+        /// Median per-iteration time across batches, in nanoseconds.
+        pub median_ns: f64,
+        /// Fastest per-iteration time across batches, in nanoseconds.
+        pub min_ns: f64,
+    }
+
+    impl BenchResult {
+        /// Formats like `name  median 12.3µs  min 11.9µs`.
+        pub fn display_line(&self) -> String {
+            format!(
+                "{:<40} median {:>10}  min {:>10}",
+                self.name,
+                fmt_ns(self.median_ns),
+                fmt_ns(self.min_ns)
+            )
+        }
+    }
+
+    fn fmt_ns(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.2}s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.2}ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.2}µs", ns / 1e3)
+        } else {
+            format!("{ns:.0}ns")
+        }
+    }
+
+    /// A benchmark runner with a per-case time budget.
+    #[derive(Debug, Clone)]
+    pub struct Harness {
+        /// Rough wall-clock budget per case (split across batches).
+        pub target: Duration,
+        /// Number of timed batches per case.
+        pub batches: u32,
+    }
+
+    impl Default for Harness {
+        fn default() -> Self {
+            Harness {
+                target: Duration::from_millis(200),
+                batches: 5,
+            }
+        }
+    }
+
+    impl Harness {
+        /// A harness sized for quick smoke runs (CI, `cargo test`).
+        pub fn quick() -> Self {
+            Harness {
+                target: Duration::from_millis(50),
+                batches: 3,
+            }
+        }
+
+        /// Times `f`, printing and returning the result.
+        pub fn bench<F: FnMut()>(&self, name: &str, mut f: F) -> BenchResult {
+            // Calibration: find an iteration count filling one batch budget.
+            let budget = self.target / self.batches.max(1);
+            let start = Instant::now();
+            f();
+            let once = start.elapsed().max(Duration::from_nanos(50));
+            let batch_iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u32;
+
+            let mut per_iter: Vec<f64> = Vec::with_capacity(self.batches as usize);
+            for _ in 0..self.batches.max(1) {
+                let start = Instant::now();
+                for _ in 0..batch_iters {
+                    f();
+                }
+                let elapsed = start.elapsed().as_nanos() as f64;
+                per_iter.push(elapsed / f64::from(batch_iters));
+            }
+            per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let result = BenchResult {
+                name: name.to_string(),
+                batch_iters,
+                median_ns: per_iter[per_iter.len() / 2],
+                min_ns: per_iter[0],
+            };
+            println!("{}", result.display_line());
+            result
+        }
+    }
+
+    /// Whether the paper-scale sweeps were requested via `SLADE_BENCH_FULL`.
+    pub fn full_sweep() -> bool {
+        std::env::var_os("SLADE_BENCH_FULL").is_some_and(|v| v != "0")
+    }
+}
+
+pub mod sweeps {
+    //! Shared sweep grids, so the `fig*` bench targets and the `figures`
+    //! binary print the same experiment points and cannot drift apart.
+
+    /// Task-count grid for the homogeneous scale sweeps (Fig. 6a/6b).
+    pub fn scale_grid(full: bool) -> &'static [u32] {
+        if full {
+            &[1_000, 10_000, 100_000, 1_000_000]
+        } else {
+            &[100, 400, 1_600]
+        }
+    }
+
+    /// Task-count grid for the heterogeneous scale sweeps (Fig. 8).
+    pub fn hetero_scale_grid(full: bool) -> &'static [u32] {
+        if full {
+            &[1_000, 10_000, 100_000]
+        } else {
+            &[100, 400]
+        }
+    }
+
+    /// Reliability-threshold grid (Fig. 6c/6d).
+    pub const THRESHOLDS: [f64; 4] = [0.85, 0.90, 0.95, 0.99];
+
+    /// Menu-width grid (Fig. 6e–6h).
+    pub fn cardinality_grid(full: bool) -> &'static [u32] {
+        if full {
+            &[2, 4, 8, 16, 32]
+        } else {
+            &[2, 4, 8]
+        }
+    }
+
+    /// Heterogeneous threshold ranges (Fig. 7).
+    pub const HETERO_RANGES: [(f64, f64); 3] = [(0.5, 0.9), (0.1, 0.99), (0.8, 0.99)];
+
+    /// Largest `n` the `O(n² log n)` greedy (and the column-heavy baseline)
+    /// are swept at: ~2 s per solve today. Larger points are skipped with a
+    /// printed note until the greedy is reworked (DESIGN.md scaling seam #1).
+    pub const QUADRATIC_SOLVER_MAX_N: u32 = 10_000;
+}
+
+pub mod instances {
+    //! Workloads and bin menus for the paper's experimental sweeps (§7).
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use slade_core::bin_set::BinSet;
+    use slade_core::task::Workload;
+
+    /// The paper's Table-1 menu: `<1, 0.90, 0.10>, <2, 0.85, 0.18>,
+    /// <3, 0.80, 0.24>`.
+    pub fn paper_bins() -> BinSet {
+        BinSet::paper_example()
+    }
+
+    /// A wider synthetic menu of `m` cardinalities `1..=m` with confidences
+    /// decaying and per-task prices improving as bins widen — the shape of
+    /// the paper's `|B|` sweeps (Fig. 6e–6h).
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn synthetic_bins(m: u32) -> BinSet {
+        assert!(m >= 1, "need at least one bin type");
+        BinSet::new((1..=m).map(|l| {
+            let lf = f64::from(l);
+            let confidence = 0.92 - 0.04 * (lf - 1.0) / (1.0 + 0.2 * (lf - 1.0));
+            let cost = 0.10 * lf * (1.0 - 0.05 * (lf - 1.0).min(8.0) / 8.0);
+            (l, confidence, cost)
+        }))
+        .expect("synthetic menu is statically valid")
+    }
+
+    /// A homogeneous workload of `n` tasks at threshold `t`.
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid (`n == 0` or `t ∉ (0,1)`).
+    pub fn homogeneous(n: u32, t: f64) -> Workload {
+        Workload::homogeneous(n, t).expect("benchmark workload parameters are valid")
+    }
+
+    /// A heterogeneous workload of `n` tasks with thresholds drawn uniformly
+    /// from `lo..hi`, deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid (`n == 0` or bounds outside
+    /// `(0,1)`).
+    pub fn heterogeneous(n: u32, lo: f64, hi: f64, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let thresholds = (0..n).map(|_| rng.random_range(lo..hi)).collect();
+        Workload::heterogeneous(thresholds).expect("benchmark workload parameters are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::harness::Harness;
+    use super::instances;
+    use slade_core::prelude::*;
+
+    #[test]
+    fn harness_times_a_trivial_closure() {
+        let h = Harness::quick();
+        let mut acc = 0u64;
+        let r = h.bench("noop-add", || {
+            acc = acc.wrapping_add(super::harness::black_box(1));
+        });
+        assert!(r.median_ns >= 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.batch_iters >= 1);
+    }
+
+    #[test]
+    fn synthetic_bins_are_valid_and_sized() {
+        for m in [1u32, 3, 8, 16] {
+            let bins = instances::synthetic_bins(m);
+            assert_eq!(bins.len(), m as usize);
+            assert_eq!(bins.max_cardinality(), m);
+        }
+    }
+
+    #[test]
+    fn generated_instances_solve() {
+        let bins = instances::synthetic_bins(5);
+        let w = instances::homogeneous(50, 0.95);
+        let plan = OpqBased::default().solve(&w, &bins).unwrap();
+        assert!(plan.validate(&w, &bins).unwrap().feasible);
+        let hw = instances::heterogeneous(50, 0.3, 0.99, 11);
+        let plan = OpqExtended::default().solve(&hw, &bins).unwrap();
+        assert!(plan.validate(&hw, &bins).unwrap().feasible);
+    }
+
+    #[test]
+    fn heterogeneous_generator_is_deterministic() {
+        let a = instances::heterogeneous(20, 0.2, 0.9, 5);
+        let b = instances::heterogeneous(20, 0.2, 0.9, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,1 +1,321 @@
-fn main() {}
+//! `slade-cli` — drive the SLADE decomposer from the command line.
+//!
+//! ```text
+//! slade-cli solve    [--algorithm NAME] [--tasks N] [--threshold T]
+//!                    [--thresholds T1,T2,...] [--bins l:r:c,l:r:c,...]
+//! slade-cli simulate [same flags] [--trials K] [--seed S]
+//! slade-cli algorithms
+//! ```
+//!
+//! Defaults: the paper's Table-1 bin menu, 4 tasks, threshold 0.95, the
+//! OPQ-Based solver — i.e. Example 9 of the paper.
+
+use slade_core::prelude::*;
+use slade_crowd::{simulate, SimulationConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+slade-cli — SLADE: smart large-scale task decomposition in crowdsourcing
+
+USAGE:
+    slade-cli <COMMAND> [OPTIONS]
+
+COMMANDS:
+    solve        Decompose a workload and print the plan and its audit
+    simulate     Solve, then execute the plan on the marketplace simulator
+    algorithms   List available algorithms
+
+OPTIONS:
+    --algorithm NAME        Solver to use [default: opq-based]
+    --tasks N               Homogeneous workload size [default: 4]
+    --threshold T           Homogeneous reliability threshold [default: 0.95]
+    --thresholds T1,T2,...  Per-task thresholds (overrides --tasks/--threshold)
+    --bins l:r:c,...        Bin menu as cardinality:confidence:cost triples
+                            [default: the paper's 1:0.9:0.1,2:0.85:0.18,3:0.8:0.24]
+    --trials K              Simulation trials [default: 4000]
+    --seed S                Simulation seed [default: 12648430]
+    -h, --help              Print this help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Solve(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum CliError {
+    /// Bad invocation: exit code 2 plus usage.
+    Usage(String),
+    /// Well-formed invocation that failed while solving: exit code 1.
+    Solve(String),
+}
+
+#[derive(Debug)]
+struct Options {
+    algorithm: Algorithm,
+    bins: BinSet,
+    workload: Workload,
+    trials: u32,
+    seed: u64,
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage("missing command".into()));
+    };
+    // `--help` anywhere succeeds with usage, matching CLI convention.
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        return Ok(USAGE.to_string());
+    }
+    match command.as_str() {
+        "algorithms" => {
+            if let Some(extra) = args.get(1) {
+                return Err(CliError::Usage(format!(
+                    "`algorithms` takes no arguments, got `{extra}`"
+                )));
+            }
+            Ok(Algorithm::ALL
+                .iter()
+                .map(|a| a.name())
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+        "solve" => {
+            let opts = parse_options(&args[1..])?;
+            let plan = solve(&opts)?;
+            Ok(render_plan(&plan, &opts))
+        }
+        "simulate" => {
+            let opts = parse_options(&args[1..])?;
+            let plan = solve(&opts)?;
+            let config = SimulationConfig {
+                trials: opts.trials,
+                seed: opts.seed,
+                ..SimulationConfig::default()
+            };
+            let report = simulate(&plan, &opts.workload, &opts.bins, &config)
+                .map_err(|e| CliError::Solve(e.to_string()))?;
+            let mut out = render_plan(&plan, &opts);
+            out.push_str(&format!(
+                "\nsimulation: trials = {}, min empirical reliability = {:.4}, \
+                 unreliable tasks = {}",
+                report.trials, report.min_reliability, report.unreliable_tasks
+            ));
+            Ok(out)
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn solve(opts: &Options) -> Result<DecompositionPlan, CliError> {
+    opts.algorithm
+        .solve(&opts.workload, &opts.bins)
+        .map_err(|e| CliError::Solve(e.to_string()))
+}
+
+fn render_plan(plan: &DecompositionPlan, opts: &Options) -> String {
+    let audit = plan
+        .validate(&opts.workload, &opts.bins)
+        .expect("solver plans are structurally valid");
+    let mut out = format!(
+        "algorithm = {}\ntasks = {}\nbins posted = {}\ntotal cost = {:.4}\n\
+         feasible = {}\nmin slack = {:.4}",
+        plan.algorithm(),
+        opts.workload.len(),
+        audit.bins_posted,
+        audit.total_cost,
+        audit.feasible,
+        audit.min_slack,
+    );
+    if !audit.unsatisfied.is_empty() {
+        out.push_str(&format!("\nunsatisfied tasks = {:?}", audit.unsatisfied));
+    }
+    out
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut algorithm = Algorithm::OpqBased;
+    let mut tasks: u32 = 4;
+    let mut threshold: f64 = 0.95;
+    let mut thresholds: Option<Vec<f64>> = None;
+    let mut bins: Option<String> = None;
+    let mut trials: u32 = 4_000;
+    let mut seed: u64 = 0xC0FFEE;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--algorithm" => {
+                algorithm = value("--algorithm")?
+                    .parse()
+                    .map_err(|e| CliError::Usage(format!("{e}")))?;
+            }
+            "--tasks" => {
+                tasks = parse_num(&value("--tasks")?, "--tasks")?;
+            }
+            "--threshold" => {
+                threshold = parse_num(&value("--threshold")?, "--threshold")?;
+            }
+            "--thresholds" => {
+                let raw = value("--thresholds")?;
+                thresholds = Some(
+                    raw.split(',')
+                        .map(|s| parse_num(s, "--thresholds"))
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            "--bins" => {
+                bins = Some(value("--bins")?);
+            }
+            "--trials" => {
+                trials = parse_num(&value("--trials")?, "--trials")?;
+            }
+            "--seed" => {
+                seed = parse_num(&value("--seed")?, "--seed")?;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+        }
+    }
+
+    let bins = match bins {
+        Some(raw) => parse_bins(&raw)?,
+        None => BinSet::paper_example(),
+    };
+    let workload = match thresholds {
+        Some(ts) => Workload::heterogeneous(ts),
+        None => Workload::homogeneous(tasks, threshold),
+    }
+    .map_err(|e| CliError::Usage(e.to_string()))?;
+
+    Ok(Options {
+        algorithm,
+        bins,
+        workload,
+        trials,
+        seed,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, CliError> {
+    raw.trim()
+        .parse()
+        .map_err(|_| CliError::Usage(format!("{flag}: cannot parse `{raw}`")))
+}
+
+/// Parses `l:r:c,l:r:c,...` into a validated bin set.
+fn parse_bins(raw: &str) -> Result<BinSet, CliError> {
+    let mut triples = Vec::new();
+    for part in raw.split(',') {
+        let fields: Vec<&str> = part.split(':').collect();
+        let [l, r, c] = fields.as_slice() else {
+            return Err(CliError::Usage(format!(
+                "--bins: `{part}` is not a cardinality:confidence:cost triple"
+            )));
+        };
+        triples.push((
+            parse_num::<u32>(l, "--bins")?,
+            parse_num::<f64>(r, "--bins")?,
+            parse_num::<f64>(c, "--bins")?,
+        ));
+    }
+    BinSet::new(triples).map_err(|e| CliError::Usage(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn default_solve_reproduces_example9() {
+        let out = run(&argv("solve")).unwrap();
+        assert!(out.contains("algorithm = OpqBased"), "{out}");
+        assert!(out.contains("total cost = 0.6800"), "{out}");
+        assert!(out.contains("feasible = true"), "{out}");
+    }
+
+    #[test]
+    fn explicit_flags_are_honored() {
+        let out = run(&argv(
+            "solve --algorithm greedy --tasks 7 --threshold 0.9 --bins 1:0.8:0.1,4:0.7:0.3",
+        ))
+        .unwrap();
+        assert!(out.contains("algorithm = Greedy"), "{out}");
+        assert!(out.contains("tasks = 7"), "{out}");
+        assert!(out.contains("feasible = true"), "{out}");
+    }
+
+    #[test]
+    fn heterogeneous_thresholds_flag() {
+        let out = run(&argv(
+            "solve --algorithm opq-extended --thresholds 0.5,0.6,0.7,0.86",
+        ))
+        .unwrap();
+        assert!(out.contains("tasks = 4"), "{out}");
+        assert!(out.contains("feasible = true"), "{out}");
+    }
+
+    #[test]
+    fn simulate_reports_empirical_reliability() {
+        let out = run(&argv("simulate --trials 500 --seed 7")).unwrap();
+        assert!(out.contains("simulation: trials = 500"), "{out}");
+        assert!(out.contains("unreliable tasks = 0"), "{out}");
+    }
+
+    #[test]
+    fn algorithms_lists_all() {
+        let out = run(&argv("algorithms")).unwrap();
+        for a in Algorithm::ALL {
+            assert!(out.contains(a.name()));
+        }
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&argv("frobnicate")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&argv("solve --algorithm simplex")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv("solve --bins 1:0.9")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&argv("solve --tasks")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn solver_failures_use_the_solve_error_path() {
+        // OPQ-Based rejects heterogeneous workloads.
+        let err = run(&argv(
+            "solve --algorithm opq-based --thresholds 0.5,0.9",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Solve(_)));
+    }
+}

@@ -36,7 +36,7 @@ impl TaskBin {
                 "bin confidence must lie in (0,1), got {confidence} for cardinality {cardinality}"
             )));
         }
-        if !(cost > 0.0) || !cost.is_finite() {
+        if cost <= 0.0 || !cost.is_finite() {
             return Err(SladeError::InvalidBinSet(format!(
                 "bin cost must be positive and finite, got {cost} for cardinality {cardinality}"
             )));
@@ -258,8 +258,9 @@ mod tests {
     fn min_unit_weight_cost_matches_hand_computation() {
         let b = BinSet::paper_example();
         // c/(l*w): 0.1/2.3026 = 0.0434; 0.18/(2*1.8971) = 0.0474;
-        // 0.24/(3*1.6094) = 0.0497. Min = b1's.
-        assert!((b.min_unit_weight_cost() - 0.1 / (1.0 * 2.302_585_092_994_046)).abs() < 1e-12);
+        // 0.24/(3*1.6094) = 0.0497. Min = b1's, whose weight is exactly
+        // -ln(1 - 0.9) = ln 10.
+        assert!((b.min_unit_weight_cost() - 0.1 / std::f64::consts::LN_10).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! The Optimal Priority Queue (Algorithm 2 of the paper).
+//!
+//! A *combination* is a multiset of task-bin types whose transformed weights
+//! sum to at least a target θ — i.e. a recipe that, applied to one atomic
+//! task, satisfies a reliability threshold `t` with `θ = -ln(1 - t)`. The
+//! OPQ enumerates **minimal** feasible combinations (dropping any single bin
+//! breaks feasibility) in nondecreasing key order, lazily: it is a best-first
+//! search over multisets, so the `k` cheapest combinations are produced
+//! without materializing the exponential combination space.
+//!
+//! Two keys are supported (see [`CombinationKey`]):
+//!
+//! * [`CombinationKey::PerTaskPrice`] — `Σ k_l · c_l / l`, the cost one task
+//!   pays when every bin in the combination is shared by a full group
+//!   (Algorithm 3 uses this for its bulk groups);
+//! * [`CombinationKey::TotalCost`] — `Σ k_l · c_l`, the cost of posting the
+//!   combination outright (what a leftover group of fewer than `l` tasks
+//!   pays).
+//!
+//! ```
+//! use slade_core::bin_set::BinSet;
+//! use slade_core::opq::{CombinationKey, OpqConfig, OptimalPriorityQueue};
+//! use slade_core::reliability::theta;
+//!
+//! let bins = BinSet::paper_example();
+//! let mut opq = OptimalPriorityQueue::new(
+//!     &bins,
+//!     theta(0.95),
+//!     CombinationKey::PerTaskPrice,
+//!     OpqConfig::default(),
+//! );
+//! // Example 7/8 of the paper: the per-task-cheapest feasible combination
+//! // for t = 0.95 is two bins of cardinality 3 at price 2 * 0.24/3 = 0.16.
+//! let best = opq.next().unwrap();
+//! assert_eq!(best.counts(), &[0, 0, 2]);
+//! assert!((best.price() - 0.16).abs() < 1e-12);
+//! ```
+
+use crate::bin_set::BinSet;
+use crate::reliability::{satisfies, WEIGHT_EPS};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Bounds on the OPQ's lazy enumeration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpqConfig {
+    /// Maximum number of bins in one combination. `None` (the default)
+    /// derives the bound `⌈θ / w_min⌉ + 1` from the instance, which is always
+    /// sufficient; tightening it below that can make the enumeration empty
+    /// (surfaced as [`SladeError::EmptyEnumeration`] by the solvers).
+    ///
+    /// [`SladeError::EmptyEnumeration`]: crate::error::SladeError::EmptyEnumeration
+    pub max_combination_size: Option<usize>,
+    /// Hard cap on heap expansions, guarding against pathological instances
+    /// (hundreds of bin types with near-zero weights).
+    pub max_expansions: usize,
+}
+
+impl Default for OpqConfig {
+    fn default() -> Self {
+        OpqConfig {
+            max_combination_size: None,
+            max_expansions: 1 << 20,
+        }
+    }
+}
+
+/// Ordering key for the OPQ enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombinationKey {
+    /// `Σ k_l · c_l / l` — cost per task when bins are fully shared.
+    PerTaskPrice,
+    /// `Σ k_l · c_l` — cost of posting every bin in the combination once.
+    TotalCost,
+}
+
+/// A minimal feasible combination popped from the OPQ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Combination {
+    counts: Vec<u32>,
+    weight: f64,
+    total_cost: f64,
+    price: f64,
+}
+
+impl Combination {
+    /// Multiplicity per bin type, aligned with [`BinSet::bins`] order.
+    #[inline]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Total transformed weight `Σ k_l · w_l` delivered to a task.
+    #[inline]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Posting cost `Σ k_l · c_l` of one instance of the combination.
+    #[inline]
+    pub fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+
+    /// Per-task price `Σ k_l · c_l / l` under full sharing.
+    #[inline]
+    pub fn price(&self) -> f64 {
+        self.price
+    }
+
+    /// Number of bins in the combination.
+    pub fn size(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Best-first enumerator of minimal feasible combinations; see the module
+/// docs. Iterates in nondecreasing key order and ends (yielding `None`) when
+/// the search space or the configured budget is exhausted.
+#[derive(Debug)]
+pub struct OptimalPriorityQueue<'a> {
+    bins: &'a BinSet,
+    theta: f64,
+    key: CombinationKey,
+    max_size: usize,
+    max_expansions: usize,
+    expansions: usize,
+    heap: BinaryHeap<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    key: f64,
+    /// Multiplicity per bin index.
+    counts: Vec<u32>,
+    weight: f64,
+    /// Highest bin index present; children only add indices `>= last` so each
+    /// multiset is generated exactly once.
+    last: usize,
+    size: usize,
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.counts == other.counts
+    }
+}
+impl Eq for State {}
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the smallest key pops first.
+        // Ties break toward fewer bins, then lexicographically smaller
+        // counts, for determinism.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.size.cmp(&self.size))
+            .then_with(|| other.counts.cmp(&self.counts))
+    }
+}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'a> OptimalPriorityQueue<'a> {
+    /// Creates an OPQ over `bins` for transformed threshold `theta`.
+    pub fn new(bins: &'a BinSet, theta: f64, key: CombinationKey, config: OpqConfig) -> Self {
+        debug_assert!(theta > 0.0 && theta.is_finite());
+        let auto_size = (theta / bins.min_weight()).ceil() as usize + 1;
+        let max_size = config.max_combination_size.unwrap_or(auto_size);
+        let mut opq = OptimalPriorityQueue {
+            bins,
+            theta,
+            key,
+            max_size,
+            max_expansions: config.max_expansions,
+            expansions: 0,
+            heap: BinaryHeap::new(),
+        };
+        for i in 0..bins.len() {
+            let mut counts = vec![0u32; bins.len()];
+            counts[i] = 1;
+            let weight = bins.bins()[i].weight();
+            let key = opq.key_of(i, 1);
+            opq.heap.push(State {
+                key,
+                counts,
+                weight,
+                last: i,
+                size: 1,
+            });
+        }
+        opq
+    }
+
+    fn key_of(&self, bin_index: usize, count: u32) -> f64 {
+        let b = &self.bins.bins()[bin_index];
+        let unit = match self.key {
+            CombinationKey::PerTaskPrice => b.cost() / b.cardinality() as f64,
+            CombinationKey::TotalCost => b.cost(),
+        };
+        unit * count as f64
+    }
+
+    /// Whether `counts` is minimal: removing any present bin drops the weight
+    /// below θ. Since removal of the *lightest* present bin leaves the most
+    /// weight, checking that single removal suffices.
+    fn is_minimal(&self, counts: &[u32], weight: f64) -> bool {
+        let min_present = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| self.bins.bins()[i].weight())
+            .fold(f64::INFINITY, f64::min);
+        !satisfies(weight - min_present, self.theta)
+    }
+
+    /// Pops the next minimal feasible combination, or `None` when the search
+    /// space (or expansion budget) is exhausted.
+    pub fn pop_feasible(&mut self) -> Option<Combination> {
+        while let Some(state) = self.heap.pop() {
+            if satisfies(state.weight, self.theta) {
+                // Feasible. Supersets are never minimal, so do not expand.
+                if self.is_minimal(&state.counts, state.weight) {
+                    let total_cost: f64 = state
+                        .counts
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| c as f64 * self.bins.bins()[i].cost())
+                        .sum();
+                    let price: f64 = state
+                        .counts
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| {
+                            let b = &self.bins.bins()[i];
+                            c as f64 * b.cost() / b.cardinality() as f64
+                        })
+                        .sum();
+                    return Some(Combination {
+                        counts: state.counts,
+                        weight: state.weight,
+                        total_cost,
+                        price,
+                    });
+                }
+                continue;
+            }
+            // Infeasible: expand children (append one bin of index >= last).
+            if state.size >= self.max_size || self.expansions >= self.max_expansions {
+                continue;
+            }
+            self.expansions += 1;
+            for i in state.last..self.bins.len() {
+                let mut counts = state.counts.clone();
+                counts[i] += 1;
+                let child_key = state.key + self.key_of(i, 1);
+                let weight = state.weight + self.bins.bins()[i].weight();
+                self.heap.push(State {
+                    key: child_key,
+                    counts,
+                    weight,
+                    last: i,
+                    size: state.size + 1,
+                });
+            }
+        }
+        None
+    }
+
+    /// Convenience: the first `k` minimal feasible combinations in key order,
+    /// fewer if the space is smaller.
+    pub fn take_feasible(&mut self, k: usize) -> Vec<Combination> {
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match self.pop_feasible() {
+                Some(c) => out.push(c),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// The transformed threshold this queue enumerates against.
+    #[inline]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+impl Iterator for OptimalPriorityQueue<'_> {
+    type Item = Combination;
+
+    fn next(&mut self) -> Option<Combination> {
+        self.pop_feasible()
+    }
+}
+
+/// Re-exported tolerance so callers comparing popped keys use the same
+/// epsilon as the enumeration itself.
+pub const KEY_EPS: f64 = WEIGHT_EPS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reliability::theta;
+
+    fn paper_opq(key: CombinationKey) -> Vec<Combination> {
+        let bins = BinSet::paper_example();
+        let mut opq =
+            OptimalPriorityQueue::new(&bins, theta(0.95), key, OpqConfig::default());
+        opq.take_feasible(16)
+    }
+
+    #[test]
+    fn paper_example_price_order() {
+        // All minimal feasible combinations for Table 1 at t = 0.95 are
+        // pairs: {b3,b3} 0.16, {b2,b3} 0.17, {b2,b2} 0.18, {b1,b3} 0.18,
+        // {b1,b2} 0.19, {b1,b1} 0.20 (per-task price order).
+        let combos = paper_opq(CombinationKey::PerTaskPrice);
+        assert_eq!(combos.len(), 6);
+        let prices: Vec<f64> = combos.iter().map(Combination::price).collect();
+        for pair in prices.windows(2) {
+            assert!(pair[0] <= pair[1] + KEY_EPS);
+        }
+        assert_eq!(combos[0].counts(), &[0, 0, 2]);
+        assert!((combos[0].price() - 0.16).abs() < 1e-12);
+        assert!((combos[0].weight() - 2.0 * crate::reliability::weight(0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_total_cost_order() {
+        // By posting cost the order flips: {b1,b1} 0.20 is cheapest.
+        let combos = paper_opq(CombinationKey::TotalCost);
+        assert_eq!(combos.len(), 6);
+        assert_eq!(combos[0].counts(), &[2, 0, 0]);
+        assert!((combos[0].total_cost() - 0.20).abs() < 1e-12);
+        let costs: Vec<f64> = combos.iter().map(Combination::total_cost).collect();
+        for pair in costs.windows(2) {
+            assert!(pair[0] <= pair[1] + KEY_EPS);
+        }
+    }
+
+    #[test]
+    fn all_popped_combinations_are_minimal_and_feasible() {
+        let bins = BinSet::new([(1, 0.6, 0.1), (2, 0.5, 0.15), (4, 0.4, 0.2)]).unwrap();
+        let th = theta(0.99);
+        let mut opq = OptimalPriorityQueue::new(
+            &bins,
+            th,
+            CombinationKey::PerTaskPrice,
+            OpqConfig::default(),
+        );
+        let combos = opq.take_feasible(50);
+        assert!(!combos.is_empty());
+        for c in &combos {
+            assert!(satisfies(c.weight(), th));
+            // Minimality: removing the lightest present bin breaks it.
+            let lightest = c
+                .counts()
+                .iter()
+                .enumerate()
+                .filter(|(_, &k)| k > 0)
+                .map(|(i, _)| bins.bins()[i].weight())
+                .fold(f64::INFINITY, f64::min);
+            assert!(!satisfies(c.weight() - lightest, th));
+        }
+    }
+
+    #[test]
+    fn no_duplicate_combinations() {
+        let bins = BinSet::paper_example();
+        let mut opq = OptimalPriorityQueue::new(
+            &bins,
+            theta(0.999),
+            CombinationKey::PerTaskPrice,
+            OpqConfig::default(),
+        );
+        let combos = opq.take_feasible(100);
+        for (i, a) in combos.iter().enumerate() {
+            for b in &combos[i + 1..] {
+                assert_ne!(a.counts(), b.counts());
+            }
+        }
+    }
+
+    #[test]
+    fn tight_size_limit_empties_the_enumeration() {
+        let bins = BinSet::paper_example();
+        // t = 0.95 needs two bins; capping combinations at one bin leaves
+        // nothing feasible.
+        let mut opq = OptimalPriorityQueue::new(
+            &bins,
+            theta(0.95),
+            CombinationKey::PerTaskPrice,
+            OpqConfig {
+                max_combination_size: Some(1),
+                ..OpqConfig::default()
+            },
+        );
+        assert!(opq.pop_feasible().is_none());
+    }
+
+    #[test]
+    fn single_bin_suffices_for_low_threshold() {
+        let bins = BinSet::paper_example();
+        // t = 0.5: every single bin already satisfies it; the cheapest by
+        // price is one b3 (0.08/task).
+        let mut opq = OptimalPriorityQueue::new(
+            &bins,
+            theta(0.5),
+            CombinationKey::PerTaskPrice,
+            OpqConfig::default(),
+        );
+        let first = opq.pop_feasible().unwrap();
+        assert_eq!(first.counts(), &[0, 0, 1]);
+        assert_eq!(first.size(), 1);
+    }
+
+    #[test]
+    fn iterator_interface_matches_pop() {
+        let bins = BinSet::paper_example();
+        let a: Vec<_> = OptimalPriorityQueue::new(
+            &bins,
+            theta(0.95),
+            CombinationKey::PerTaskPrice,
+            OpqConfig::default(),
+        )
+        .take(3)
+        .collect();
+        let b = OptimalPriorityQueue::new(
+            &bins,
+            theta(0.95),
+            CombinationKey::PerTaskPrice,
+            OpqConfig::default(),
+        )
+        .take_feasible(3);
+        assert_eq!(a, b);
+    }
+}

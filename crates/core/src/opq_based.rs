@@ -1,0 +1,391 @@
+//! The OPQ-Based decomposition solver for homogeneous workloads
+//! (Algorithm 3 of the paper, built on the Algorithm-2 queue in [`crate::opq`]).
+//!
+//! ## How it works
+//!
+//! With one shared threshold `t`, every atomic task must receive bins whose
+//! weights sum to `θ = -ln(1 - t)`, so any solution assigns each task a
+//! feasible *combination* of bin types. Tasks using the same combination can
+//! share physical bins: a group of `g` tasks all using combination
+//! `q = {k_l × b_l}` needs `max(k_l, ⌈g·k_l / l⌉)` bins of each type `l`
+//! (round-robin placement), which for fully shared groups costs the per-task
+//! *price* `p(q) = Σ k_l · c_l / l`.
+//!
+//! The solver pulls the cheapest combinations from the OPQ under both of its
+//! keys, then optimizes the group structure:
+//!
+//! * **small `n`** — an exact dynamic program over group splits:
+//!   `R(j) = min_{q, 1 ≤ g ≤ j} R(j − g) + cost(g, q)`;
+//! * **large `n`** — one bulk group of `n − j` tasks (the per-task price of
+//!   the best combination is a lower bound on `OPT / n`, and a single bulk
+//!   group pays at most `c(q*)` over it) plus the same DP for the tail `j`.
+//!
+//! This reproduces the paper's Example 9 and carries its `O(log n)`
+//! approximation guarantee (Theorem 4); the bulk-group bound above is in
+//! fact much tighter — `OPT + c(q*)` — for large `n`.
+//!
+//! ## Example 9 of the paper
+//!
+//! ```
+//! use slade_core::prelude::*;
+//!
+//! let bins = BinSet::paper_example();
+//! let workload = Workload::homogeneous(4, 0.95).unwrap();
+//! let plan = OpqBased::default().solve(&workload, &bins).unwrap();
+//! // Three tasks share two 3-cardinality bins (0.48) and the leftover task
+//! // takes two 1-cardinality bins (0.20): 0.68 in total.
+//! assert!((plan.total_cost() - 0.68).abs() < 1e-9);
+//! assert!(plan.validate(&workload, &bins).unwrap().feasible);
+//! ```
+
+use crate::bin_set::BinSet;
+use crate::error::SladeError;
+use crate::opq::{Combination, CombinationKey, OpqConfig, OptimalPriorityQueue};
+use crate::plan::DecompositionPlan;
+use crate::solver::DecompositionSolver;
+use crate::task::{TaskId, Workload};
+
+/// The OPQ-Based solver (homogeneous workloads only).
+#[derive(Debug, Clone)]
+pub struct OpqBased {
+    /// Enumeration bounds forwarded to the [`OptimalPriorityQueue`].
+    pub opq: OpqConfig,
+    /// How many candidate combinations to pull from the OPQ *per key*
+    /// (per-task price and total cost); the union forms the DP's menu.
+    pub pool_size: usize,
+    /// Largest task count optimized by the exact group DP; instances beyond
+    /// it use one bulk group plus a DP tail of this size.
+    pub dp_cap: u32,
+}
+
+impl Default for OpqBased {
+    fn default() -> Self {
+        OpqBased {
+            opq: OpqConfig::default(),
+            pool_size: 24,
+            dp_cap: 256,
+        }
+    }
+}
+
+/// One group in the solver's internal plan sketch.
+struct Group {
+    /// First task id in the group (tasks are assigned contiguously).
+    base: TaskId,
+    /// Number of tasks in the group.
+    size: u32,
+    /// Index into the candidate pool.
+    combo: usize,
+}
+
+impl OpqBased {
+    /// Cost of serving a group of `g` tasks that all use combination `q`:
+    /// `Σ_l c_l · max(k_l, ⌈g·k_l / l⌉)`.
+    fn group_cost(q: &Combination, bins: &BinSet, g: u64) -> f64 {
+        debug_assert!(g >= 1);
+        q.counts()
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k > 0)
+            .map(|(i, &k)| {
+                let b = &bins.bins()[i];
+                let needed = bins_needed(g, k, b.cardinality());
+                b.cost() * needed as f64
+            })
+            .sum()
+    }
+
+    /// Runs the exact group DP for `cap` tasks over the candidate `pool`.
+    /// Returns per-size best costs `R[0..=cap]` and the `(group size, combo)`
+    /// choice realizing each.
+    fn group_dp(
+        pool: &[Combination],
+        bins: &BinSet,
+        cap: u32,
+    ) -> (Vec<f64>, Vec<(u32, usize)>) {
+        let cap = cap as usize;
+        let mut best = vec![f64::INFINITY; cap + 1];
+        let mut choice = vec![(0u32, 0usize); cap + 1];
+        best[0] = 0.0;
+        for j in 1..=cap {
+            for (qi, q) in pool.iter().enumerate() {
+                for g in 1..=j {
+                    let c = best[j - g] + Self::group_cost(q, bins, g as u64);
+                    if c < best[j] {
+                        best[j] = c;
+                        choice[j] = (g as u32, qi);
+                    }
+                }
+            }
+        }
+        (best, choice)
+    }
+
+    /// Reconstructs the DP's group list for `j` tasks starting at `base`.
+    fn unroll(
+        choice: &[(u32, usize)],
+        mut j: u32,
+        mut base: TaskId,
+        groups: &mut Vec<Group>,
+    ) {
+        while j > 0 {
+            let (g, qi) = choice[j as usize];
+            groups.push(Group {
+                base,
+                size: g,
+                combo: qi,
+            });
+            base += g;
+            j -= g;
+        }
+    }
+
+    /// Materializes a group as physical bins via round-robin placement.
+    fn emit_group(group: &Group, pool: &[Combination], bins: &BinSet, plan: &mut DecompositionPlan) {
+        let q = &pool[group.combo];
+        let g = group.size as u64;
+        for (i, &k) in q.counts().iter().enumerate() {
+            if k == 0 {
+                continue;
+            }
+            let bin = &bins.bins()[i];
+            let n_bins = bins_needed(g, k, bin.cardinality()) as usize;
+            let mut members: Vec<Vec<TaskId>> = vec![Vec::new(); n_bins];
+            for t in 0..g {
+                for j in 0..u64::from(k) {
+                    let slot = (t * u64::from(k) + j) as usize % n_bins;
+                    members[slot].push(group.base + t as TaskId);
+                }
+            }
+            for tasks in members {
+                debug_assert!(tasks.len() <= bin.cardinality() as usize);
+                plan.push(bin, tasks);
+            }
+        }
+    }
+
+    /// Gathers the candidate combination pool: the `pool_size` cheapest
+    /// combinations under each OPQ key, deduplicated.
+    fn candidate_pool(&self, bins: &BinSet, theta: f64) -> Vec<Combination> {
+        let mut pool: Vec<Combination> = Vec::new();
+        for key in [CombinationKey::PerTaskPrice, CombinationKey::TotalCost] {
+            let mut opq = OptimalPriorityQueue::new(bins, theta, key, self.opq.clone());
+            for combo in opq.take_feasible(self.pool_size) {
+                if !pool.iter().any(|c| c.counts() == combo.counts()) {
+                    pool.push(combo);
+                }
+            }
+        }
+        pool
+    }
+}
+
+/// Physical bins of one type needed so that each of `g` tasks sits in `k`
+/// distinct bins of cardinality `l`: `max(k, ⌈g·k / l⌉)`.
+fn bins_needed(g: u64, k: u32, l: u32) -> u64 {
+    let slots = g * u64::from(k);
+    u64::from(k).max(slots.div_ceil(u64::from(l)))
+}
+
+impl DecompositionSolver for OpqBased {
+    fn name(&self) -> &'static str {
+        "OpqBased"
+    }
+
+    fn supports_heterogeneous(&self) -> bool {
+        false
+    }
+
+    fn solve(&self, workload: &Workload, bins: &BinSet) -> Result<DecompositionPlan, SladeError> {
+        if !workload.is_homogeneous() {
+            return Err(SladeError::HeterogeneousUnsupported { solver: "OpqBased" });
+        }
+        let n = workload.len();
+        let theta = workload.theta(0);
+        let pool = self.candidate_pool(bins, theta);
+        if pool.is_empty() {
+            return Err(SladeError::EmptyEnumeration);
+        }
+
+        let cap = n.min(self.dp_cap.max(1));
+        let (best, choice) = Self::group_dp(&pool, bins, cap);
+
+        let mut groups: Vec<Group> = Vec::new();
+        if n <= cap {
+            Self::unroll(&choice, n, 0, &mut groups);
+        } else {
+            // One bulk group of n - j tasks plus the best DP tail of j tasks.
+            let mut best_total = f64::INFINITY;
+            let mut pick = (0u32, 0usize);
+            for j in 0..=cap {
+                let bulk = u64::from(n - j);
+                for (qi, q) in pool.iter().enumerate() {
+                    let total = best[j as usize] + Self::group_cost(q, bins, bulk);
+                    if total < best_total {
+                        best_total = total;
+                        pick = (j, qi);
+                    }
+                }
+            }
+            let (tail, qi) = pick;
+            groups.push(Group {
+                base: 0,
+                size: n - tail,
+                combo: qi,
+            });
+            Self::unroll(&choice, tail, n - tail, &mut groups);
+        }
+
+        let mut plan = DecompositionPlan::empty(self.name());
+        for group in &groups {
+            Self::emit_group(group, &pool, bins, &mut plan);
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reliability;
+
+    #[test]
+    fn example9_cost_is_068() {
+        let bins = BinSet::paper_example();
+        let workload = Workload::homogeneous(4, 0.95).unwrap();
+        let plan = OpqBased::default().solve(&workload, &bins).unwrap();
+        assert!((plan.total_cost() - 0.68).abs() < 1e-9, "{}", plan.total_cost());
+        let audit = plan.validate(&workload, &bins).unwrap();
+        assert!(audit.feasible);
+        // Example 9's structure: two b3 bins + two b1 bins.
+        assert_eq!(audit.bins_posted, 4);
+    }
+
+    #[test]
+    fn tiny_instances_match_hand_computation() {
+        let bins = BinSet::paper_example();
+        // n = 1: two b1 bins (0.20) beat every other feasible combination.
+        let w1 = Workload::homogeneous(1, 0.95).unwrap();
+        let p1 = OpqBased::default().solve(&w1, &bins).unwrap();
+        assert!((p1.total_cost() - 0.20).abs() < 1e-9);
+        // n = 2: both tasks in two shared b2 bins (0.36).
+        let w2 = Workload::homogeneous(2, 0.95).unwrap();
+        let p2 = OpqBased::default().solve(&w2, &bins).unwrap();
+        assert!((p2.total_cost() - 0.36).abs() < 1e-9);
+        // n = 3: the Example-8 group — three tasks in two b3 bins (0.48).
+        let w3 = Workload::homogeneous(3, 0.95).unwrap();
+        let p3 = OpqBased::default().solve(&w3, &bins).unwrap();
+        assert!((p3.total_cost() - 0.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_instance_is_feasible_and_near_price_bound() {
+        let bins = BinSet::paper_example();
+        let n = 10_000u32;
+        let workload = Workload::homogeneous(n, 0.95).unwrap();
+        let plan = OpqBased::default().solve(&workload, &bins).unwrap();
+        let audit = plan.validate(&workload, &bins).unwrap();
+        assert!(audit.feasible);
+        // Best per-task price for t = 0.95 is 0.16 ({b3, b3}); the plan must
+        // stay within one combination's posting cost of n times that.
+        let lower = f64::from(n) * 0.16;
+        assert!(plan.total_cost() >= lower - 1e-6);
+        assert!(plan.total_cost() <= lower + 0.48 + 1e-6, "{}", plan.total_cost());
+    }
+
+    #[test]
+    fn bulk_path_matches_dp_path_at_the_boundary() {
+        let bins = BinSet::paper_example();
+        let n = 300u32;
+        let workload = Workload::homogeneous(n, 0.95).unwrap();
+        let small_dp = OpqBased {
+            dp_cap: 64,
+            ..OpqBased::default()
+        };
+        let big_dp = OpqBased {
+            dp_cap: 512,
+            ..OpqBased::default()
+        };
+        let a = small_dp.solve(&workload, &bins).unwrap();
+        let b = big_dp.solve(&workload, &bins).unwrap();
+        assert!((a.total_cost() - b.total_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_heterogeneous_workloads() {
+        let bins = BinSet::paper_example();
+        let w = Workload::heterogeneous(vec![0.5, 0.9]).unwrap();
+        assert!(matches!(
+            OpqBased::default().solve(&w, &bins),
+            Err(SladeError::HeterogeneousUnsupported { solver: "OpqBased" })
+        ));
+    }
+
+    #[test]
+    fn empty_enumeration_is_reported() {
+        let bins = BinSet::paper_example();
+        let w = Workload::homogeneous(4, 0.95).unwrap();
+        let solver = OpqBased {
+            opq: OpqConfig {
+                max_combination_size: Some(1),
+                ..OpqConfig::default()
+            },
+            ..OpqBased::default()
+        };
+        assert!(matches!(
+            solver.solve(&w, &bins),
+            Err(SladeError::EmptyEnumeration)
+        ));
+    }
+
+    #[test]
+    fn single_bin_type_reduces_to_ceiling_formula() {
+        // One bin type <2, 0.9, 0.3>, t = 0.8: one bin per task suffices
+        // (w = 2.30 >= θ = 1.61), so OPT = ⌈n/2⌉ · 0.3.
+        let bins = BinSet::new([(2, 0.9, 0.3)]).unwrap();
+        for n in [1u32, 2, 3, 7, 100] {
+            let w = Workload::homogeneous(n, 0.8).unwrap();
+            let plan = OpqBased::default().solve(&w, &bins).unwrap();
+            let expect = f64::from(n.div_ceil(2)) * 0.3;
+            assert!(
+                (plan.total_cost() - expect).abs() < 1e-9,
+                "n = {n}: {} != {expect}",
+                plan.total_cost()
+            );
+            assert!(plan.validate(&w, &bins).unwrap().feasible);
+        }
+    }
+
+    #[test]
+    fn round_robin_respects_capacity_and_distinctness() {
+        let bins = BinSet::new([(3, 0.7, 0.2), (5, 0.6, 0.25)]).unwrap();
+        for n in [1u32, 4, 5, 6, 11, 50] {
+            for t in [0.9, 0.99, 0.999] {
+                let w = Workload::homogeneous(n, t).unwrap();
+                let plan = OpqBased::default().solve(&w, &bins).unwrap();
+                // validate() errors on capacity violations / duplicates.
+                let audit = plan.validate(&w, &bins).unwrap();
+                assert!(audit.feasible, "n = {n}, t = {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn reported_cost_is_consistent_with_min_price_lower_bound() {
+        // OPT >= n · p(q*) (each bin's cost splits over at most l tasks), so
+        // the solver must never report less.
+        let bins = BinSet::new([(1, 0.9, 0.1), (4, 0.75, 0.22)]).unwrap();
+        let w = Workload::homogeneous(37, 0.97).unwrap();
+        let theta = reliability::theta(0.97);
+        let plan = OpqBased::default().solve(&w, &bins).unwrap();
+        let mut opq = OptimalPriorityQueue::new(
+            &bins,
+            theta,
+            CombinationKey::PerTaskPrice,
+            OpqConfig::default(),
+        );
+        let best_price = opq.pop_feasible().unwrap().price();
+        assert!(plan.total_cost() >= 37.0 * best_price - 1e-9);
+        assert!(plan.validate(&w, &bins).unwrap().feasible);
+    }
+}

@@ -84,8 +84,9 @@ mod tests {
 
     #[test]
     fn paper_running_example_weights() {
-        // Table 1: r = 0.9, 0.85, 0.8 and threshold t = 0.95.
-        assert!((weight(0.9) - 2.302585).abs() < 1e-5);
+        // Table 1: r = 0.9, 0.85, 0.8 and threshold t = 0.95. Note that
+        // w(0.9) = -ln(0.1) is exactly ln 10.
+        assert!((weight(0.9) - std::f64::consts::LN_10).abs() < 1e-5);
         assert!((weight(0.85) - 1.897120).abs() < 1e-5);
         assert!((weight(0.8) - 1.609438).abs() < 1e-5);
         assert!((theta(0.95) - 2.995732).abs() < 1e-5);
@@ -116,11 +117,15 @@ mod tests {
     }
 
     #[test]
-    fn weight_is_stable_near_one() {
-        // 1 - r = 1e-15: naive (1.0 - r).ln() loses all precision.
-        let r = 1.0 - 1e-15;
-        let w = weight(r);
-        assert!((w - 34.538776394910684).abs() < 1e-9);
+    fn weight_is_stable_at_extreme_confidences() {
+        // r = 1 - 2^-50 is exactly representable, so w = 50·ln 2 exactly.
+        let r = 1.0 - f64::powi(2.0, -50);
+        assert!((weight(r) - 50.0 * std::f64::consts::LN_2).abs() < 1e-9);
+        // Tiny confidences: w(r) ≈ r. The naive (1.0 - r).ln() rounds
+        // 1 - 1e-18 to 1.0 and reports zero weight; ln_1p keeps it.
+        let r = 1e-18;
+        assert!((weight(r) - 1e-18).abs() < 1e-33);
+        assert_eq!(-(1.0f64 - r).ln(), 0.0);
     }
 
     #[test]
@@ -133,8 +138,9 @@ mod tests {
 
     #[test]
     fn hetero_example_thetas() {
-        // Example 10: thresholds 0.5, 0.6, 0.86 -> θ = 0.69, 0.92, 1.97.
-        assert!((theta(0.5) - 0.6931).abs() < 1e-4);
+        // Example 10: thresholds 0.5, 0.6, 0.86 -> θ = 0.69, 0.92, 1.97;
+        // θ(0.5) is exactly ln 2.
+        assert!((theta(0.5) - std::f64::consts::LN_2).abs() < 1e-4);
         assert!((theta(0.6) - 0.9163).abs() < 1e-4);
         assert!((theta(0.86) - 1.9661).abs() < 1e-4);
         // Paper's Example 10 prints θ(0.7) as 1.61; the correct value is

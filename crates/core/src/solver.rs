@@ -1,0 +1,195 @@
+//! The common solver interface and the algorithm registry.
+//!
+//! Every decomposition algorithm in this crate implements
+//! [`DecompositionSolver`]; [`Algorithm`] is the closed enumeration used to
+//! select one by name (CLI flags, benchmark sweeps, config files).
+
+use crate::baseline::Baseline;
+use crate::bin_set::BinSet;
+use crate::error::SladeError;
+use crate::exact::ExactSolver;
+use crate::greedy::Greedy;
+use crate::hetero::OpqExtended;
+use crate::opq_based::OpqBased;
+use crate::plan::DecompositionPlan;
+use crate::relaxed::Relaxed;
+use crate::task::Workload;
+use std::fmt;
+use std::str::FromStr;
+
+/// A task-decomposition algorithm: turns an instance into a
+/// [`DecompositionPlan`].
+///
+/// Implementations must be deterministic for a fixed configuration (the
+/// randomized [`Baseline`] carries its seed in its config) and must return
+/// plans that pass [`DecompositionPlan::validate`] structurally; feasibility
+/// of the result is part of each solver's contract and is asserted by the
+/// crate's tests.
+pub trait DecompositionSolver {
+    /// Stable, human-readable solver name (also stamped on produced plans).
+    fn name(&self) -> &'static str;
+
+    /// Whether per-task thresholds are supported; solvers returning `false`
+    /// answer heterogeneous workloads with
+    /// [`SladeError::HeterogeneousUnsupported`].
+    fn supports_heterogeneous(&self) -> bool {
+        true
+    }
+
+    /// Decomposes `workload` over the bin menu `bins`.
+    fn solve(&self, workload: &Workload, bins: &BinSet) -> Result<DecompositionPlan, SladeError>;
+}
+
+/// The closed set of algorithms shipped by this crate, with their
+/// default configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Algorithm 1 — cost-effectiveness greedy heuristic.
+    Greedy,
+    /// Algorithms 2–3 — OPQ-Based solver (homogeneous only).
+    OpqBased,
+    /// Algorithms 4–5 — OPQ-Extended solver (threshold bucketing).
+    OpqExtended,
+    /// §4.3 — covering-integer-program baseline (LP + randomized rounding).
+    Baseline,
+    /// §4.2 — rod-cutting dynamic program for relaxed instances.
+    Relaxed,
+    /// Brute-force branch-and-bound for tiny validation instances.
+    Exact,
+}
+
+impl Algorithm {
+    /// All algorithms, in documentation order.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Greedy,
+        Algorithm::OpqBased,
+        Algorithm::OpqExtended,
+        Algorithm::Baseline,
+        Algorithm::Relaxed,
+        Algorithm::Exact,
+    ];
+
+    /// The canonical (kebab-case) name, accepted back by [`FromStr`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Greedy => "greedy",
+            Algorithm::OpqBased => "opq-based",
+            Algorithm::OpqExtended => "opq-extended",
+            Algorithm::Baseline => "baseline",
+            Algorithm::Relaxed => "relaxed",
+            Algorithm::Exact => "exact",
+        }
+    }
+
+    /// Instantiates the algorithm with its default configuration.
+    pub fn solver(self) -> Box<dyn DecompositionSolver> {
+        match self {
+            Algorithm::Greedy => Box::new(Greedy),
+            Algorithm::OpqBased => Box::new(OpqBased::default()),
+            Algorithm::OpqExtended => Box::new(OpqExtended::default()),
+            Algorithm::Baseline => Box::new(Baseline::default()),
+            Algorithm::Relaxed => Box::new(Relaxed),
+            Algorithm::Exact => Box::new(ExactSolver::default()),
+        }
+    }
+
+    /// Convenience: solve with the default configuration.
+    pub fn solve(
+        self,
+        workload: &Workload,
+        bins: &BinSet,
+    ) -> Result<DecompositionPlan, SladeError> {
+        self.solver().solve(workload, bins)
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown algorithm name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAlgorithm(pub String);
+
+impl fmt::Display for UnknownAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown algorithm `{}`; expected one of: greedy, opq-based, \
+             opq-extended, baseline, relaxed, exact",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownAlgorithm {}
+
+impl FromStr for Algorithm {
+    type Err = UnknownAlgorithm;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized = s.trim().to_ascii_lowercase().replace('_', "-");
+        Algorithm::ALL
+            .into_iter()
+            .find(|a| a.name() == normalized)
+            .ok_or_else(|| UnknownAlgorithm(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_fromstr() {
+        for a in Algorithm::ALL {
+            assert_eq!(a.name().parse::<Algorithm>().unwrap(), a);
+            assert_eq!(a.to_string(), a.name());
+        }
+        assert_eq!("OPQ_Based".parse::<Algorithm>().unwrap(), Algorithm::OpqBased);
+        assert!("simplex".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn solver_names_match_enum_spirit() {
+        for a in Algorithm::ALL {
+            let s = a.solver();
+            assert!(!s.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_algorithm_solves_a_small_homogeneous_instance() {
+        let bins = BinSet::paper_example();
+        let w = Workload::homogeneous(3, 0.8).unwrap();
+        for a in Algorithm::ALL {
+            let plan = a.solve(&w, &bins).unwrap_or_else(|e| panic!("{a}: {e}"));
+            let audit = plan.validate(&w, &bins).unwrap();
+            assert!(audit.feasible, "{a} produced an infeasible plan");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_support_is_reported_accurately() {
+        let bins = BinSet::paper_example();
+        // t_max = 0.75 keeps the instance relaxed (every bin confidence in
+        // the paper menu is >= 0.8), so even the Relaxed solver accepts it.
+        let w = Workload::heterogeneous(vec![0.5, 0.75]).unwrap();
+        for a in Algorithm::ALL {
+            let s = a.solver();
+            let result = s.solve(&w, &bins);
+            if s.supports_heterogeneous() {
+                let plan = result.unwrap_or_else(|e| panic!("{a}: {e}"));
+                let audit = plan.validate(&w, &bins).unwrap();
+                assert!(audit.feasible, "{a} infeasible");
+            } else {
+                assert!(matches!(
+                    result,
+                    Err(SladeError::HeterogeneousUnsupported { .. })
+                ));
+            }
+        }
+    }
+}

@@ -138,7 +138,7 @@ impl Workload {
 }
 
 fn validate_threshold(t: f64, index: usize) -> Result<(), SladeError> {
-    if !(t > 0.0 && t < 1.0) || !t.is_finite() {
+    if !(t > 0.0 && t < 1.0) {
         return Err(SladeError::InvalidWorkload(format!(
             "threshold of task {index} must lie in the open interval (0,1), got {t}"
         )));

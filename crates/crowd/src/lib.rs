@@ -1,0 +1,292 @@
+//! # slade-crowd — a minimal crowdsourcing-marketplace simulator
+//!
+//! The SLADE optimizer treats a task bin `<l, r_l, c_l>` as an abstraction:
+//! post it, pay `c_l`, and each contained task is answered correctly with
+//! probability `r_l`. This crate closes the loop by *executing* a
+//! [`DecompositionPlan`] against a simulated marketplace:
+//!
+//! * [`simulate`] runs Monte-Carlo trials of a plan and reports the
+//!   empirical per-task reliability — the ground-truth check that a feasible
+//!   plan's `1 - Π(1 - r)` math actually delivers the promised rates;
+//! * [`estimate_confidence`] / [`calibrate`] go the other way, rebuilding a
+//!   [`BinSet`] from observed answer outcomes the way a deployment would
+//!   calibrate bin parameters from marketplace probes.
+//!
+//! Everything is deterministic under a caller-supplied seed.
+//!
+//! ```
+//! use slade_core::prelude::*;
+//! use slade_crowd::{simulate, SimulationConfig};
+//!
+//! let bins = BinSet::paper_example();
+//! let workload = Workload::homogeneous(4, 0.95).unwrap();
+//! let plan = OpqBased::default().solve(&workload, &bins).unwrap();
+//!
+//! let report = simulate(&plan, &workload, &bins, &SimulationConfig::default()).unwrap();
+//! // A feasible plan's worst task still clears ~0.95 empirically.
+//! assert!(report.min_reliability > 0.90);
+//! assert_eq!(report.unreliable_tasks, 0);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slade_core::bin_set::BinSet;
+use slade_core::error::SladeError;
+use slade_core::plan::DecompositionPlan;
+use slade_core::task::Workload;
+
+/// Monte-Carlo settings for [`simulate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulationConfig {
+    /// Number of independent marketplace trials.
+    pub trials: u32,
+    /// RNG seed; identical seeds reproduce identical reports.
+    pub seed: u64,
+    /// Slack subtracted from each threshold before counting a task as
+    /// unreliable, absorbing Monte-Carlo noise, in thousandths. With
+    /// `trials` samples the empirical rate has standard error
+    /// `≈ 0.5/√trials`; the default pairs 4 000 trials with a 0.03 margin
+    /// (≈ 3.8σ).
+    pub tolerance_millis: u32,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            trials: 4_000,
+            seed: 0xC0FFEE,
+            tolerance_millis: 30,
+        }
+    }
+}
+
+/// The outcome of executing a plan against the simulated marketplace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// Trials executed.
+    pub trials: u32,
+    /// Empirical per-task reliability (fraction of trials in which at least
+    /// one covering bin answered the task correctly), indexed by task id.
+    pub empirical_reliability: Vec<f64>,
+    /// Smallest entry of [`SimulationReport::empirical_reliability`].
+    pub min_reliability: f64,
+    /// Tasks whose empirical reliability fell short of threshold minus the
+    /// configured tolerance.
+    pub unreliable_tasks: u32,
+    /// Cost paid per trial — identical to the plan's total cost.
+    pub total_cost: f64,
+}
+
+/// Executes `plan` against the simulated marketplace; see the module docs.
+///
+/// The plan is structurally validated first, so the same
+/// [`SladeError::InvalidPlan`] conditions as
+/// [`DecompositionPlan::validate`] apply. Infeasible-but-well-formed plans
+/// simulate fine — the report simply shows the shortfall.
+pub fn simulate(
+    plan: &DecompositionPlan,
+    workload: &Workload,
+    bins: &BinSet,
+    config: &SimulationConfig,
+) -> Result<SimulationReport, SladeError> {
+    plan.validate(workload, bins)?;
+    if config.trials == 0 {
+        return Err(SladeError::InvalidWorkload(
+            "simulation needs at least one trial".into(),
+        ));
+    }
+
+    let n = workload.len() as usize;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut successes = vec![0u32; n];
+    let mut answered = vec![false; n];
+    for _ in 0..config.trials {
+        answered.fill(false);
+        for posted in plan.bins() {
+            let confidence = bins
+                .get(posted.cardinality())
+                .expect("validated plan references known bins")
+                .confidence();
+            for &t in posted.tasks() {
+                if !answered[t as usize] && rng.random_bool(confidence) {
+                    answered[t as usize] = true;
+                }
+            }
+        }
+        for (s, &hit) in successes.iter_mut().zip(&answered) {
+            *s += u32::from(hit);
+        }
+    }
+
+    let empirical: Vec<f64> = successes
+        .iter()
+        .map(|&s| f64::from(s) / f64::from(config.trials))
+        .collect();
+    let tolerance = f64::from(config.tolerance_millis) / 1_000.0;
+    let unreliable = (0..n)
+        .filter(|&i| empirical[i] < workload.threshold(i as u32) - tolerance)
+        .count() as u32;
+    let min_reliability = empirical.iter().copied().fold(f64::INFINITY, f64::min);
+
+    Ok(SimulationReport {
+        trials: config.trials,
+        empirical_reliability: empirical,
+        min_reliability,
+        unreliable_tasks: unreliable,
+        total_cost: plan.total_cost(),
+    })
+}
+
+/// Laplace-smoothed confidence estimate from `correct` answers in `total`
+/// probes: `(correct + 1) / (total + 2)`, which always lands strictly inside
+/// `(0, 1)` as [`slade_core::bin_set::TaskBin`] requires. Returns `None` when
+/// `total == 0` or `correct > total`.
+pub fn estimate_confidence(correct: u64, total: u64) -> Option<f64> {
+    if total == 0 || correct > total {
+        return None;
+    }
+    Some((correct as f64 + 1.0) / (total as f64 + 2.0))
+}
+
+/// One bin type's marketplace probe statistics, input to [`calibrate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinProbe {
+    /// Bin cardinality being probed.
+    pub cardinality: u32,
+    /// Correct answers observed across probes.
+    pub correct: u64,
+    /// Total probe answers observed.
+    pub total: u64,
+    /// Posting cost in milli-units (costs are exact, not estimated).
+    pub cost_millis: u64,
+}
+
+/// Builds a calibrated [`BinSet`] from probe statistics, the way a
+/// deployment bootstraps its bin menu from a sampling phase. Probes with no
+/// observations fall back to a 0.5 confidence prior.
+pub fn calibrate(probes: &[BinProbe]) -> Result<BinSet, SladeError> {
+    BinSet::new(probes.iter().map(|p| {
+        let confidence = estimate_confidence(p.correct, p.total).unwrap_or(0.5);
+        (p.cardinality, confidence, p.cost_millis as f64 / 1_000.0)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slade_core::prelude::*;
+
+    fn example9() -> (Workload, BinSet, DecompositionPlan) {
+        let bins = BinSet::paper_example();
+        let workload = Workload::homogeneous(4, 0.95).unwrap();
+        let plan = OpqBased::default().solve(&workload, &bins).unwrap();
+        (workload, bins, plan)
+    }
+
+    #[test]
+    fn feasible_plans_deliver_their_thresholds_empirically() {
+        let (w, b, plan) = example9();
+        let report = simulate(&plan, &w, &b, &SimulationConfig::default()).unwrap();
+        assert_eq!(report.unreliable_tasks, 0);
+        assert!(report.min_reliability > 0.90);
+        assert!((report.total_cost - 0.68).abs() < 1e-9);
+        assert_eq!(report.empirical_reliability.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (w, b, plan) = example9();
+        let a = simulate(&plan, &w, &b, &SimulationConfig::default()).unwrap();
+        let c = simulate(&plan, &w, &b, &SimulationConfig::default()).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn under_covered_plan_is_reported_unreliable() {
+        let b = BinSet::paper_example();
+        let w = Workload::homogeneous(2, 0.95).unwrap();
+        // One b1 per task: reliability 0.90 < 0.95 - 0.03.
+        let mut plan = DecompositionPlan::empty("hand");
+        plan.push(b.get(1).unwrap(), vec![0]);
+        plan.push(b.get(1).unwrap(), vec![1]);
+        let report = simulate(&plan, &w, &b, &SimulationConfig::default()).unwrap();
+        assert_eq!(report.unreliable_tasks, 2);
+        assert!(report.min_reliability < 0.95);
+    }
+
+    #[test]
+    fn empirical_rates_track_the_analytic_reliability() {
+        let b = BinSet::paper_example();
+        let w = Workload::homogeneous(3, 0.8).unwrap();
+        let plan = Greedy.solve(&w, &b).unwrap();
+        let audit = plan.validate(&w, &b).unwrap();
+        assert!(audit.feasible);
+        let config = SimulationConfig {
+            trials: 20_000,
+            ..SimulationConfig::default()
+        };
+        let report = simulate(&plan, &w, &b, &config).unwrap();
+        // Every empirical rate within 2% of satisfying its threshold band.
+        for (i, &rate) in report.empirical_reliability.iter().enumerate() {
+            assert!(rate >= 0.8 - 0.02, "task {i}: {rate}");
+        }
+    }
+
+    #[test]
+    fn structural_errors_propagate() {
+        let b = BinSet::paper_example();
+        let w = Workload::homogeneous(2, 0.9).unwrap();
+        let mut plan = DecompositionPlan::empty("hand");
+        plan.push(b.get(1).unwrap(), vec![7]); // out of range
+        assert!(matches!(
+            simulate(&plan, &w, &b, &SimulationConfig::default()),
+            Err(SladeError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn zero_trials_is_rejected() {
+        let (w, b, plan) = example9();
+        let config = SimulationConfig {
+            trials: 0,
+            ..SimulationConfig::default()
+        };
+        assert!(simulate(&plan, &w, &b, &config).is_err());
+    }
+
+    #[test]
+    fn confidence_estimates_stay_in_open_interval() {
+        assert_eq!(estimate_confidence(0, 0), None);
+        assert_eq!(estimate_confidence(5, 4), None);
+        let all_wrong = estimate_confidence(0, 1_000).unwrap();
+        let all_right = estimate_confidence(1_000, 1_000).unwrap();
+        assert!(all_wrong > 0.0);
+        assert!(all_right < 1.0);
+        assert!((estimate_confidence(9, 10).unwrap() - 10.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_round_trips_through_the_solvers() {
+        let probes = [
+            BinProbe { cardinality: 1, correct: 900, total: 1_000, cost_millis: 100 },
+            BinProbe { cardinality: 2, correct: 850, total: 1_000, cost_millis: 180 },
+            BinProbe { cardinality: 3, correct: 800, total: 1_000, cost_millis: 240 },
+        ];
+        let bins = calibrate(&probes).unwrap();
+        assert_eq!(bins.len(), 3);
+        // Estimates land within smoothing distance of the true rates.
+        assert!((bins.get(1).unwrap().confidence() - 0.9).abs() < 0.01);
+        let w = Workload::homogeneous(5, 0.95).unwrap();
+        let plan = OpqBased::default().solve(&w, &bins).unwrap();
+        assert!(plan.validate(&w, &bins).unwrap().feasible);
+    }
+
+    #[test]
+    fn calibration_rejects_duplicate_cardinalities() {
+        let probes = [
+            BinProbe { cardinality: 2, correct: 1, total: 2, cost_millis: 100 },
+            BinProbe { cardinality: 2, correct: 1, total: 2, cost_millis: 200 },
+        ];
+        assert!(calibrate(&probes).is_err());
+    }
+}

@@ -341,9 +341,8 @@ impl Solver {
     /// current tableau (which stores `B^{-1} A`).
     fn load_objective(&mut self, costs: &[f64]) {
         let rhs_col = self.n_total;
-        for j in 0..=self.n_total {
-            self.obj[j] = if j < self.n_total { costs[j] } else { 0.0 };
-        }
+        self.obj[..self.n_total].copy_from_slice(costs);
+        self.obj[self.n_total] = 0.0;
         for (row, &bv) in self.basis.iter().enumerate() {
             let cb = costs[bv];
             if cb != 0.0 {

@@ -1,0 +1,280 @@
+//! Offline stand-in for the crates.io `rand` crate.
+//!
+//! The SLADE workspace builds in environments without network access, so it
+//! cannot fetch the real `rand` crate. This shim implements the small slice of
+//! the rand 0.9 API the workspace actually uses — [`Rng::random`],
+//! [`Rng::random_range`], [`rngs::StdRng`], and
+//! [`SeedableRng::seed_from_u64`] — on top of a xoshiro256++ generator seeded
+//! by SplitMix64.
+//!
+//! Properties and caveats:
+//!
+//! * **Deterministic**: the same seed always yields the same stream, on every
+//!   platform. All randomized SLADE routines take caller-provided RNGs, so
+//!   results are reproducible end to end.
+//! * **Not cryptographic**: xoshiro256++ is a fast statistical PRNG. Nothing
+//!   in this workspace needs cryptographic randomness.
+//! * **Drop-in**: when building with network access, point the workspace
+//!   `rand` dependency back at crates.io; the call sites compile unchanged.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let unit: f64 = rng.random();
+//! assert!((0.0..1.0).contains(&unit));
+//! let die = rng.random_range(1..7);
+//! assert!((1..7).contains(&die));
+//! ```
+
+use core::ops::Range;
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+}
+
+/// High-level sampling interface, blanket-implemented for every [`RngCore`].
+///
+/// Unlike the crates.io original this trait is not dyn-compatible (its
+/// generic methods carry no `Self: Sized` bound); the workspace never uses
+/// `dyn Rng`, and the relaxed bound lets `R: Rng + ?Sized` call sites sample
+/// directly.
+pub trait Rng: RngCore {
+    /// Samples a value from the type's standard distribution
+    /// (`f64` → uniform `[0, 1)`, integers → uniform over the full range,
+    /// `bool` → fair coin).
+    fn random<T: SampleStandard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} not in [0,1]");
+        f64::sample(self) < p
+    }
+
+    /// Samples uniformly from the half-open range `range.start..range.end`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable by [`Rng::random`].
+pub trait SampleStandard {
+    /// Draws one value from the standard distribution of `Self`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    /// Uniform on `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types samplable by [`Rng::random_range`].
+pub trait SampleUniform: Sized {
+    /// Draws one value uniformly from `range`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample from empty range");
+        let unit = f64::sample(rng);
+        range.start + (range.end - range.start) * unit
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample from empty range");
+                // Widening multiply maps 64 random bits onto the range width
+                // with negligible (< 2^-32) bias for the widths used here.
+                let width = (range.end as i128 - range.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) * width) >> 64;
+                (range.start as i128 + offset as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the canonical way to seed xoshiro state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                state: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna, 2018).
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0
+                .wrapping_add(s3)
+                .rotate_left(23)
+                .wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.state = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_f64_in_range_and_varied() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut low = 0usize;
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+            if v < 0.5 {
+                low += 1;
+            }
+        }
+        // A fair generator lands in [0, 0.5) about half the time.
+        assert!((3500..6500).contains(&low), "low = {low}");
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let x = rng.random_range(10u32..20);
+            assert!((10..20).contains(&x));
+            let y = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&y));
+            let z = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&z));
+        }
+    }
+
+    #[test]
+    fn range_sampling_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = rng.random_range(5u32..5);
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        // Mirrors how slade-lp threads `&mut R` with `R: Rng + ?Sized`.
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(8);
+        let v = draw(&mut rng);
+        assert!((0.0..1.0).contains(&v));
+    }
+
+    #[test]
+    fn random_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.1)).count();
+        assert!((500..1500).contains(&hits), "hits = {hits}");
+    }
+}

@@ -2,10 +2,10 @@
 //!
 //! Umbrella crate re-exporting the full SLADE stack:
 //!
-//! * [`core`](slade_core) — the decomposition algorithms (Greedy, OPQ-Based,
+//! * [`core`] — the decomposition algorithms (Greedy, OPQ-Based,
 //!   OPQ-Extended, the CIP baseline, exact and relaxed solvers).
-//! * [`lp`](slade_lp) — the linear-programming substrate used by the baseline.
-//! * [`crowd`](slade_crowd) — a crowdsourcing-marketplace simulator used to
+//! * [`lp`] — the linear-programming substrate used by the baseline.
+//! * [`crowd`] — a crowdsourcing-marketplace simulator used to
 //!   calibrate task-bin parameters and execute decomposition plans.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
@@ -14,4 +14,5 @@ pub use slade_core as core;
 pub use slade_crowd as crowd;
 pub use slade_lp as lp;
 
+pub use slade_core::prelude;
 pub use slade_core::prelude::*;
