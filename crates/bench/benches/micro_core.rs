@@ -41,7 +41,10 @@ fn main() {
         black_box(OpqBased::default().solve(black_box(&workload), &bins)).unwrap();
     });
 
-    // The greedy's O(n² log n) loop is capped until DESIGN.md seam #1 lands.
+    // Pins the DESIGN.md seam-#1 rework: the lazy max-heap greedy runs the
+    // full grid (the old full-re-sort loop was ~68 ms at n = 2 000; the heap
+    // version is ~n log n and still caps at QUADRATIC_SOLVER_MAX_N only as a
+    // safety net for pathological menus).
     let greedy_n = n.min(sweeps::QUADRATIC_SOLVER_MAX_N);
     let greedy_workload = instances::homogeneous(greedy_n, 0.95);
     harness.bench(&format!("greedy::solve(n={greedy_n})"), || {

@@ -38,8 +38,13 @@ fn main() {
     for &n in sweeps::scale_grid(full) {
         let workload = instances::homogeneous(n, 0.95);
         for algorithm in [Algorithm::OpqBased, Algorithm::Greedy, Algorithm::Baseline] {
-            if algorithm != Algorithm::OpqBased && n > sweeps::QUADRATIC_SOLVER_MAX_N {
-                continue; // see DESIGN.md scaling seam #1
+            let cap = match algorithm {
+                Algorithm::Greedy => sweeps::QUADRATIC_SOLVER_MAX_N,
+                Algorithm::Baseline => sweeps::BASELINE_SOLVER_MAX_N, // seam #4
+                _ => u32::MAX,
+            };
+            if n > cap {
+                continue;
             }
             let plan = algorithm.solve(&workload, &bins).unwrap();
             emit("fig6-scale", format!("n={n}"), algorithm, n, plan.total_cost());

@@ -153,10 +153,19 @@ pub mod sweeps {
     /// Heterogeneous threshold ranges (Fig. 7).
     pub const HETERO_RANGES: [(f64, f64); 3] = [(0.5, 0.9), (0.1, 0.99), (0.8, 0.99)];
 
-    /// Largest `n` the `O(n² log n)` greedy (and the column-heavy baseline)
-    /// are swept at: ~2 s per solve today. Larger points are skipped with a
-    /// printed note until the greedy is reworked (DESIGN.md scaling seam #1).
-    pub const QUADRATIC_SOLVER_MAX_N: u32 = 10_000;
+    /// Largest `n` the greedy is swept at. Historically 10 000: the original
+    /// implementation re-sorted the whole open list every round
+    /// (`O(n² log n)`, ~2 s per solve at that cap). The lazy max-heap rework
+    /// (DESIGN.md scaling seam #1, landed) brought a full solve to
+    /// `O((n + assignments) log n)`, so the greedy now joins every
+    /// paper-scale grid; `micro_core`'s `greedy::solve` case pins the
+    /// improvement.
+    pub const QUADRATIC_SOLVER_MAX_N: u32 = 1_000_000;
+
+    /// Largest `n` the column-heavy CIP baseline is swept at: its column
+    /// generation materializes `O(n·m)` sparse columns per solve, which is
+    /// still minutes beyond this size (DESIGN.md scaling seam #4).
+    pub const BASELINE_SOLVER_MAX_N: u32 = 10_000;
 }
 
 pub mod instances {

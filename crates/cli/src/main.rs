@@ -4,15 +4,22 @@
 //! slade-cli solve    [--algorithm NAME] [--tasks N] [--threshold T]
 //!                    [--thresholds T1,T2,...] [--bins l:r:c,l:r:c,...]
 //! slade-cli simulate [same flags] [--trials K] [--seed S]
+//! slade-cli batch    [--threads N] [--cache N]   (JSONL requests on stdin)
 //! slade-cli algorithms
 //! ```
 //!
 //! Defaults: the paper's Table-1 bin menu, 4 tasks, threshold 0.95, the
 //! OPQ-Based solver — i.e. Example 9 of the paper.
 
+mod json;
+
+use json::Json;
 use slade_core::prelude::*;
 use slade_crowd::{simulate, SimulationConfig};
+use slade_engine::{Engine, EngineConfig, EngineRequest};
+use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 slade-cli — SLADE: smart large-scale task decomposition in crowdsourcing
@@ -23,10 +30,11 @@ USAGE:
 COMMANDS:
     solve        Decompose a workload and print the plan and its audit
     simulate     Solve, then execute the plan on the marketplace simulator
+    batch        Solve a stream of JSONL requests from stdin concurrently
     algorithms   List available algorithms
 
-OPTIONS:
-    --algorithm NAME        Solver to use [default: opq-based]
+OPTIONS (solve, simulate):
+    --algorithm NAME        Solver to use, case-insensitive [default: opq-based]
     --tasks N               Homogeneous workload size [default: 4]
     --threshold T           Homogeneous reliability threshold [default: 0.95]
     --thresholds T1,T2,...  Per-task thresholds (overrides --tasks/--threshold)
@@ -35,6 +43,18 @@ OPTIONS:
     --trials K              Simulation trials [default: 4000]
     --seed S                Simulation seed [default: 12648430]
     -h, --help              Print this help
+
+OPTIONS (batch):
+    --threads N             Worker threads [default: available parallelism]
+    --cache N               Artifact-cache capacity in entries, 0 disables
+                            [default: 64]
+
+Each batch request is one JSON object per line; all fields optional:
+    {\"algorithm\": \"opq-extended\", \"tasks\": 1000, \"threshold\": 0.95,
+     \"thresholds\": [0.5, 0.9], \"bins\": [[1, 0.9, 0.1]], \"seed\": 7}
+One JSON result per request is printed in input order, e.g.
+    {\"request\": 0, \"algorithm\": \"opq-based\", \"tasks\": 1000,
+     \"bins_posted\": 667, \"cost\": 160.1, \"feasible\": true}
 ";
 
 fn main() -> ExitCode {
@@ -98,6 +118,16 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let plan = solve(&opts)?;
             Ok(render_plan(&plan, &opts))
         }
+        "batch" => {
+            // Validate flags before touching stdin, so a bad invocation on a
+            // TTY errors immediately instead of blocking for EOF.
+            parse_batch_options(&args[1..])?;
+            let mut input = String::new();
+            std::io::stdin()
+                .read_to_string(&mut input)
+                .map_err(|e| CliError::Solve(format!("reading stdin: {e}")))?;
+            run_batch(&args[1..], &input)
+        }
         "simulate" => {
             let opts = parse_options(&args[1..])?;
             let plan = solve(&opts)?;
@@ -118,6 +148,238 @@ fn run(args: &[String]) -> Result<String, CliError> {
         }
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
+}
+
+/// Runs the `batch` subcommand over `input` (stdin, injectable for tests):
+/// parse every JSONL request up front (malformed input aborts before any
+/// solving), submit them all to a `slade-engine` pool, and print one JSON
+/// result line per request in input order. Individual solver failures
+/// become `{"request":i,"error":"..."}` lines rather than aborting the
+/// stream.
+fn run_batch(args: &[String], input: &str) -> Result<String, CliError> {
+    let (threads, cache) = parse_batch_options(args)?;
+    let default_bins = Arc::new(BinSet::paper_example());
+
+    let mut requests: Vec<EngineRequest> = Vec::new();
+    for (line_index, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        requests.push(parse_request(line_index + 1, line, &default_bins)?);
+    }
+
+    let engine = Engine::new(EngineConfig {
+        threads,
+        cache_capacity: cache,
+        ..EngineConfig::default()
+    });
+    let handles = engine.submit_batch(requests.iter().cloned());
+
+    let mut out = String::new();
+    for (i, (handle, request)) in handles.into_iter().zip(&requests).enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        match handle.wait() {
+            Ok(plan) => {
+                let audit = plan
+                    .validate(&request.workload, &request.bins)
+                    .expect("engine plans are structurally valid");
+                out.push_str(&format!(
+                    "{{\"request\":{i},\"algorithm\":\"{}\",\"tasks\":{},\
+                     \"bins_posted\":{},\"cost\":{:.6},\"feasible\":{}}}",
+                    request.algorithm,
+                    request.workload.len(),
+                    audit.bins_posted,
+                    audit.total_cost,
+                    audit.feasible,
+                ));
+            }
+            Err(e) => {
+                out.push_str(&format!(
+                    "{{\"request\":{i},\"error\":\"{}\"}}",
+                    json::escape(&e.to_string())
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_batch_options(args: &[String]) -> Result<(usize, usize), CliError> {
+    let defaults = EngineConfig::default();
+    let mut threads = defaults.threads;
+    let mut cache = defaults.cache_capacity;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--threads" => {
+                threads = parse_num(&value("--threads")?, "--threads")?;
+                if threads == 0 {
+                    return Err(CliError::Usage("--threads must be at least 1".into()));
+                }
+            }
+            "--cache" => {
+                cache = parse_num(&value("--cache")?, "--cache")?;
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown flag `{other}` for `batch`"
+                )))
+            }
+        }
+    }
+    Ok((threads, cache))
+}
+
+/// Parses one JSONL request. `line_no` is 1-based and names the offending
+/// line in every error.
+fn parse_request(
+    line_no: usize,
+    line: &str,
+    default_bins: &Arc<BinSet>,
+) -> Result<EngineRequest, CliError> {
+    let value = json::parse(line)
+        .map_err(|e| CliError::Usage(format!("line {line_no}: invalid JSON: {e}")))?;
+    let Some(members) = value.members() else {
+        return Err(CliError::Usage(format!(
+            "line {line_no}: expected a JSON object, got {}",
+            value.type_name()
+        )));
+    };
+    for (key, _) in members {
+        if !matches!(
+            key.as_str(),
+            "algorithm" | "tasks" | "threshold" | "thresholds" | "bins" | "seed"
+        ) {
+            return Err(CliError::Usage(format!(
+                "line {line_no}: unknown field `{key}` (expected algorithm, \
+                 tasks, threshold, thresholds, bins, seed)"
+            )));
+        }
+    }
+
+    let algorithm = match value.get("algorithm") {
+        None => Algorithm::OpqBased,
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| {
+                CliError::Usage(format!(
+                    "line {line_no}: `algorithm` must be a string, got {}",
+                    v.type_name()
+                ))
+            })?
+            .parse()
+            .map_err(|e| CliError::Usage(format!("line {line_no}: {e}")))?,
+    };
+
+    let bins = match value.get("bins") {
+        None => Arc::clone(default_bins),
+        Some(v) => {
+            let rows = v.as_array().ok_or_else(|| {
+                CliError::Usage(format!(
+                    "line {line_no}: `bins` must be an array of [l, r, c] triples"
+                ))
+            })?;
+            let mut triples = Vec::with_capacity(rows.len());
+            for row in rows {
+                let fields = row.as_array().unwrap_or(&[]);
+                let [l, r, c] = fields else {
+                    return Err(CliError::Usage(format!(
+                        "line {line_no}: each bin must be an [l, r, c] triple"
+                    )));
+                };
+                triples.push((
+                    json_u32(l, line_no, "bin cardinality")?,
+                    json_f64(r, line_no, "bin confidence")?,
+                    json_f64(c, line_no, "bin cost")?,
+                ));
+            }
+            Arc::new(
+                BinSet::new(triples)
+                    .map_err(|e| CliError::Usage(format!("line {line_no}: {e}")))?,
+            )
+        }
+    };
+
+    let workload = match value.get("thresholds") {
+        Some(v) => {
+            // Unlike the CLI flags (where --thresholds documents that it
+            // overrides --tasks/--threshold), a JSON request mixing both
+            // forms is rejected: silently dropping a field would contradict
+            // the parser's strictness everywhere else.
+            for conflicting in ["tasks", "threshold"] {
+                if value.get(conflicting).is_some() {
+                    return Err(CliError::Usage(format!(
+                        "line {line_no}: `thresholds` conflicts with `{conflicting}`; \
+                         give one or the other"
+                    )));
+                }
+            }
+            let items = v.as_array().ok_or_else(|| {
+                CliError::Usage(format!(
+                    "line {line_no}: `thresholds` must be an array of numbers"
+                ))
+            })?;
+            let thresholds = items
+                .iter()
+                .map(|t| json_f64(t, line_no, "threshold"))
+                .collect::<Result<Vec<f64>, _>>()?;
+            Workload::heterogeneous(thresholds)
+        }
+        None => {
+            let tasks = match value.get("tasks") {
+                None => 4,
+                Some(v) => json_u32(v, line_no, "tasks")?,
+            };
+            let threshold = match value.get("threshold") {
+                None => 0.95,
+                Some(v) => json_f64(v, line_no, "threshold")?,
+            };
+            Workload::homogeneous(tasks, threshold)
+        }
+    }
+    .map_err(|e| CliError::Usage(format!("line {line_no}: {e}")))?;
+
+    let seed = match value.get("seed") {
+        None => 0xC0FFEE,
+        Some(v) => {
+            let x = json_f64(v, line_no, "seed")?;
+            if x < 0.0 || x.fract() != 0.0 || x > 9.007_199_254_740_992e15 {
+                return Err(CliError::Usage(format!(
+                    "line {line_no}: `seed` must be a non-negative integer, got {x}"
+                )));
+            }
+            x as u64
+        }
+    };
+
+    Ok(EngineRequest::new(algorithm, workload, bins).with_seed(seed))
+}
+
+fn json_f64(value: &Json, line_no: usize, what: &str) -> Result<f64, CliError> {
+    value.as_f64().ok_or_else(|| {
+        CliError::Usage(format!(
+            "line {line_no}: {what} must be a number, got {}",
+            value.type_name()
+        ))
+    })
+}
+
+fn json_u32(value: &Json, line_no: usize, what: &str) -> Result<u32, CliError> {
+    let x = json_f64(value, line_no, what)?;
+    if x < 0.0 || x.fract() != 0.0 || x > f64::from(u32::MAX) {
+        return Err(CliError::Usage(format!(
+            "line {line_no}: {what} must be a non-negative integer, got {x}"
+        )));
+    }
+    Ok(x as u32)
 }
 
 fn solve(opts: &Options) -> Result<DecompositionPlan, CliError> {
@@ -289,6 +551,127 @@ mod tests {
         for a in Algorithm::ALL {
             assert!(out.contains(a.name()));
         }
+    }
+
+    #[test]
+    fn algorithm_flag_is_case_insensitive() {
+        let out = run(&argv("solve --algorithm GREEDY --tasks 3")).unwrap();
+        assert!(out.contains("algorithm = Greedy"), "{out}");
+        let out = run(&argv("solve --algorithm Opq_Extended")).unwrap();
+        assert!(out.contains("algorithm = OpqExtended"), "{out}");
+    }
+
+    #[test]
+    fn unknown_algorithm_error_names_flag_and_lists_choices() {
+        let err = run(&argv("solve --algorithm simplex")).unwrap_err();
+        let CliError::Usage(msg) = err else {
+            panic!("expected usage error");
+        };
+        assert!(msg.contains("`simplex`"), "{msg}");
+        for a in Algorithm::ALL {
+            assert!(msg.contains(a.name()), "missing {a} in: {msg}");
+        }
+    }
+
+    #[test]
+    fn unknown_flags_are_named() {
+        let CliError::Usage(msg) = run(&argv("solve --frobnicate 3")).unwrap_err() else {
+            panic!("expected usage error");
+        };
+        assert!(msg.contains("`--frobnicate`"), "{msg}");
+        let CliError::Usage(msg) = run_batch(&argv("--tasks 4"), "").unwrap_err() else {
+            panic!("expected usage error");
+        };
+        assert!(msg.contains("`--tasks`") && msg.contains("batch"), "{msg}");
+    }
+
+    #[test]
+    fn batch_default_request_reproduces_example9() {
+        let out = run_batch(&argv("--threads 2"), "{}\n").unwrap();
+        assert_eq!(
+            out,
+            "{\"request\":0,\"algorithm\":\"opq-based\",\"tasks\":4,\
+             \"bins_posted\":4,\"cost\":0.680000,\"feasible\":true}"
+        );
+    }
+
+    #[test]
+    fn batch_mixed_stream_solves_in_input_order() {
+        let input = r#"
+            {"algorithm": "greedy", "tasks": 7, "threshold": 0.9}
+            {"algorithm": "OPQ-EXTENDED", "thresholds": [0.5, 0.6, 0.7, 0.86]}
+            {"tasks": 50, "threshold": 0.99, "bins": [[1, 0.8, 0.1], [4, 0.7, 0.3]], "seed": 3}
+        "#;
+        let out = run_batch(&argv("--threads 3 --cache 8"), input).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"request\":0") && lines[0].contains("greedy"), "{out}");
+        assert!(lines[1].contains("\"request\":1") && lines[1].contains("opq-extended"));
+        assert!(lines[2].contains("\"request\":2") && lines[2].contains("\"tasks\":50"));
+        for line in &lines {
+            assert!(line.contains("\"feasible\":true"), "{line}");
+        }
+    }
+
+    #[test]
+    fn batch_output_is_identical_across_thread_counts() {
+        let input = r#"
+            {"tasks": 300, "threshold": 0.95}
+            {"algorithm": "opq-extended", "thresholds": [0.3, 0.55, 0.72, 0.9, 0.95]}
+            {"algorithm": "baseline", "tasks": 25, "threshold": 0.9, "seed": 11}
+            {"tasks": 300, "threshold": 0.95}
+        "#;
+        let one = run_batch(&argv("--threads 1"), input).unwrap();
+        let eight = run_batch(&argv("--threads 8"), input).unwrap();
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn batch_solver_failures_become_error_lines() {
+        // OPQ-Based rejects heterogeneous workloads; the stream continues.
+        let input = "{\"thresholds\": [0.5, 0.9]}\n{\"tasks\": 2}\n";
+        let out = run_batch(&argv(""), input).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("\"error\""), "{out}");
+        assert!(lines[0].contains("homogeneous"), "{out}");
+        assert!(lines[1].contains("\"feasible\":true"), "{out}");
+    }
+
+    #[test]
+    fn batch_rejects_malformed_input_with_line_numbers() {
+        let not_json = run_batch(&argv(""), "{}\n{oops}\n").unwrap_err();
+        let CliError::Usage(msg) = not_json else {
+            panic!("expected usage error")
+        };
+        assert!(msg.contains("line 2"), "{msg}");
+
+        let unknown_field = run_batch(&argv(""), "{\"task\": 4}").unwrap_err();
+        let CliError::Usage(msg) = unknown_field else {
+            panic!("expected usage error")
+        };
+        assert!(msg.contains("`task`") && msg.contains("line 1"), "{msg}");
+
+        let bad_type = run_batch(&argv(""), "{\"tasks\": \"four\"}").unwrap_err();
+        let CliError::Usage(msg) = bad_type else {
+            panic!("expected usage error")
+        };
+        assert!(msg.contains("tasks"), "{msg}");
+
+        let duplicate = run_batch(&argv(""), "{\"tasks\": 5, \"tasks\": 9}").unwrap_err();
+        let CliError::Usage(msg) = duplicate else {
+            panic!("expected usage error")
+        };
+        assert!(msg.contains("duplicate"), "{msg}");
+
+        let conflict =
+            run_batch(&argv(""), "{\"thresholds\": [0.5, 0.9], \"tasks\": 1000}").unwrap_err();
+        let CliError::Usage(msg) = conflict else {
+            panic!("expected usage error")
+        };
+        assert!(msg.contains("conflicts") && msg.contains("`tasks`"), "{msg}");
+
+        let not_object = run_batch(&argv(""), "[1, 2]").unwrap_err();
+        assert!(matches!(not_object, CliError::Usage(_)));
     }
 
     #[test]

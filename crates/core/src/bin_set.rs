@@ -7,6 +7,7 @@
 //! `slade-crowd` crate).
 
 use crate::error::SladeError;
+use crate::fingerprint::Fnv1a;
 use crate::reliability;
 
 /// One task-bin type: cardinality, per-task confidence, posting cost.
@@ -179,6 +180,22 @@ impl BinSet {
             .fold(f64::INFINITY, f64::min)
     }
 
+    /// A stable content signature of the menu: FNV-1a over every bin's
+    /// `(cardinality, confidence, cost)` in ascending cardinality order,
+    /// floats by bit pattern. Two `BinSet`s share a signature iff they were
+    /// built from bitwise-identical triples, which makes the signature a
+    /// sound cache key for anything derived purely from the menu (OPQ pools,
+    /// DP tables — see `slade-engine`'s `ArtifactCache`).
+    pub fn signature(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for b in &self.bins {
+            h.write_u64(u64::from(b.cardinality()));
+            h.write_f64(b.confidence());
+            h.write_f64(b.cost());
+        }
+        h.finish()
+    }
+
     /// The best (smallest) fractional cost of one unit of weight delivered to
     /// one task: `min_l c_l / (l * w_l)`.
     ///
@@ -261,6 +278,18 @@ mod tests {
         // 0.24/(3*1.6094) = 0.0497. Min = b1's, whose weight is exactly
         // -ln(1 - 0.9) = ln 10.
         assert!((b.min_unit_weight_cost() - 0.1 / std::f64::consts::LN_10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signature_is_content_based() {
+        let a = BinSet::paper_example();
+        let b = BinSet::new([(3, 0.80, 0.24), (1, 0.90, 0.10), (2, 0.85, 0.18)]).unwrap();
+        // Construction order does not matter (bins are sorted), content does.
+        assert_eq!(a.signature(), b.signature());
+        let c = BinSet::new([(1, 0.90, 0.10), (2, 0.85, 0.18), (3, 0.80, 0.25)]).unwrap();
+        assert_ne!(a.signature(), c.signature());
+        let d = a.truncated(2).unwrap();
+        assert_ne!(a.signature(), d.signature());
     }
 
     #[test]

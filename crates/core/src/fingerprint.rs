@@ -1,0 +1,105 @@
+//! Stable instance fingerprinting.
+//!
+//! `slade-engine` memoizes OPQ pools and group-DP tables across requests, so
+//! it needs a canonical, cheap, content-based key for "the same instance
+//! shape": the bin menu and the transformed threshold (plus the solver knobs
+//! that shape the artifacts). [`Fnv1a`] is the tiny hasher behind
+//! [`BinSet::signature`](crate::bin_set::BinSet::signature) and
+//! [`Workload::signature`](crate::task::Workload::signature); floats are
+//! hashed by bit pattern, so two instances fingerprint equal iff their
+//! parameters are bitwise equal — exactly the granularity at which solver
+//! output is reproducible.
+
+/// A 64-bit FNV-1a accumulator.
+///
+/// Not cryptographic and not collision-resistant, so digests must never be
+/// treated as identities on their own: consumers use them as *hash buckets*
+/// and decide equality over the full key material (the engine's
+/// `Fingerprint` stores the material in every cache entry and compares it
+/// on each hit, so a collision costs one spurious probe, never a wrong
+/// artifact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// A fresh accumulator at the FNV offset basis.
+    pub const fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs one `u64` (little-endian byte order).
+    pub fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one `f64` by bit pattern (`-0.0` and `0.0` hash differently;
+    /// validated SLADE parameters exclude both anyway).
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// The accumulated 64-bit digest.
+    pub const fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_digest_is_offset_basis() {
+        assert_eq!(Fnv1a::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn digests_depend_on_every_input() {
+        let mut a = Fnv1a::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv1a::new();
+        b.write_u64(1);
+        b.write_u64(3);
+        let mut c = Fnv1a::new();
+        c.write_u64(2);
+        c.write_u64(2);
+        assert_ne!(a.finish(), b.finish());
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut a = Fnv1a::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv1a::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn floats_hash_by_bit_pattern() {
+        let mut a = Fnv1a::new();
+        a.write_f64(0.95);
+        let mut b = Fnv1a::new();
+        b.write_f64(0.95);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv1a::new();
+        c.write_f64(0.95 + 1e-12);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

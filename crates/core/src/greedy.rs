@@ -8,6 +8,16 @@
 //! (`Σ min(w_l, residual_i)` over the top-`l` residuals), is smallest — and
 //! assign exactly those tasks to it.
 //!
+//! The top-`l` residuals come from a *lazy max-heap* with versioned entries:
+//! each open task keeps exactly one live entry keyed by its current residual
+//! (descending, ties by ascending id); superseded entries stay in the heap
+//! and are discarded when popped. One round pops `O(l_max)` entries and
+//! pushes back the untouched ones, so a full solve is
+//! `O((n + A + rounds·l_max) log n)` for `A` total task-to-bin assignments —
+//! versus the `O(n log n)` *per round* of the naive re-sort it replaced
+//! (DESIGN.md scaling seam #1). The pop order equals the old sort order, so
+//! plans are bit-for-bit identical to the previous implementation.
+//!
 //! Fast in practice and the reference point the paper's experiments compare
 //! against; OPQ-Based/OPQ-Extended dominate it on cost in the homogeneous
 //! and heterogeneous settings respectively.
@@ -27,11 +37,46 @@ use crate::plan::DecompositionPlan;
 use crate::reliability::{satisfies, WEIGHT_EPS};
 use crate::solver::DecompositionSolver;
 use crate::task::{TaskId, Workload};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// The Algorithm-1 greedy heuristic. Stateless; the unit struct is its own
 /// default configuration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Greedy;
+
+/// One heap entry: a task at the residual it had when pushed. `version`
+/// invalidates superseded entries (lazy deletion): an entry is live iff its
+/// version matches the task's current one.
+#[derive(Debug)]
+struct Entry {
+    residual: f64,
+    task: TaskId,
+    version: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.residual == other.residual && self.task == other.task
+    }
+}
+impl Eq for Entry {}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: larger residual pops first; ties pop the smaller id, so
+        // the pop order matches a sort by (residual desc, id asc). Residuals
+        // are finite, so partial_cmp never actually falls back.
+        self.residual
+            .partial_cmp(&other.residual)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.task.cmp(&self.task))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 impl DecompositionSolver for Greedy {
     fn name(&self) -> &'static str {
@@ -42,21 +87,101 @@ impl DecompositionSolver for Greedy {
         let n = workload.len();
         // Residual transformed demand per task.
         let mut residual: Vec<f64> = workload.thetas().collect();
-        // Unsatisfied task ids, kept sorted by residual (descending) lazily.
-        let mut open: Vec<TaskId> = (0..n).collect();
+        // Current entry version per task; heap entries with an older version
+        // are stale and dropped when popped.
+        let mut version: Vec<u32> = vec![0; n as usize];
+        let mut open_count = n as usize;
+        let mut heap: BinaryHeap<Entry> = (0..n)
+            .map(|t| Entry {
+                residual: residual[t as usize],
+                task: t,
+                version: 0,
+            })
+            .collect();
+        let max_card = bins.max_cardinality() as usize;
+        let mut top: Vec<Entry> = Vec::with_capacity(max_card);
         let mut plan = DecompositionPlan::empty(self.name());
 
+        while open_count > 0 {
+            // Most-deprived open tasks first; ties by id for determinism.
+            top.clear();
+            while top.len() < max_card.min(open_count) {
+                let entry = heap.pop().expect("every open task has a live heap entry");
+                if entry.version != version[entry.task as usize] {
+                    continue; // superseded by a later residual update
+                }
+                top.push(entry);
+            }
+
+            // Pick the most cost-effective bin type for the current top
+            // residuals.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, b) in bins.bins().iter().enumerate() {
+                let take = (b.cardinality() as usize).min(top.len());
+                let useful: f64 = top[..take]
+                    .iter()
+                    .map(|e| b.weight().min(e.residual))
+                    .sum();
+                if useful <= WEIGHT_EPS {
+                    continue;
+                }
+                let ratio = b.cost() / useful;
+                if best.map_or(true, |(_, r)| ratio < r) {
+                    best = Some((i, ratio));
+                }
+            }
+            // Residuals of open tasks are strictly positive and weights are
+            // strictly positive, so some bin is always effective.
+            let (i, _) = best.expect("positive residuals admit an effective bin");
+            let bin = &bins.bins()[i];
+            let take = (bin.cardinality() as usize).min(top.len());
+            let members: Vec<TaskId> = top[..take].iter().map(|e| e.task).collect();
+            for &t in &members {
+                let r = residual[t as usize] - bin.weight();
+                residual[t as usize] = r;
+                version[t as usize] += 1;
+                if satisfies(0.0, r) {
+                    open_count -= 1; // done; its stale entries die lazily
+                } else {
+                    heap.push(Entry {
+                        residual: r,
+                        task: t,
+                        version: version[t as usize],
+                    });
+                }
+            }
+            // Untouched popped entries are still live; put them back as-is.
+            for entry in top.drain(take..) {
+                heap.push(entry);
+            }
+            plan.push(bin, members);
+        }
+
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The pre-heap reference implementation: full re-sort of the open list
+    /// every round. Kept verbatim so the lazy-heap rework is pinned to
+    /// produce bit-for-bit identical plans.
+    fn reference_solve(workload: &Workload, bins: &BinSet) -> DecompositionPlan {
+        let n = workload.len();
+        let mut residual: Vec<f64> = workload.thetas().collect();
+        let mut open: Vec<TaskId> = (0..n).collect();
+        let mut plan = DecompositionPlan::empty("Greedy");
         while !open.is_empty() {
-            // Most-deprived tasks first; ties by id for determinism.
             open.sort_unstable_by(|&a, &b| {
                 residual[b as usize]
                     .partial_cmp(&residual[a as usize])
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| a.cmp(&b))
             });
-
-            // Pick the most cost-effective bin type for the current top
-            // residuals.
             let mut best: Option<(usize, f64)> = None;
             for (i, b) in bins.bins().iter().enumerate() {
                 let take = (b.cardinality() as usize).min(open.len());
@@ -72,8 +197,6 @@ impl DecompositionSolver for Greedy {
                     best = Some((i, ratio));
                 }
             }
-            // Residuals of open tasks are strictly positive and weights are
-            // strictly positive, so some bin is always effective.
             let (i, _) = best.expect("positive residuals admit an effective bin");
             let bin = &bins.bins()[i];
             let take = (bin.cardinality() as usize).min(open.len());
@@ -84,14 +207,32 @@ impl DecompositionSolver for Greedy {
             plan.push(bin, members);
             open.retain(|&t| !satisfies(0.0, residual[t as usize]));
         }
-
-        Ok(plan)
+        plan
     }
-}
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+    #[test]
+    fn lazy_heap_matches_resort_reference_exactly() {
+        let menus = [
+            BinSet::paper_example(),
+            BinSet::new([(1, 0.9, 0.1), (3, 0.55, 0.12), (5, 0.6, 0.22)]).unwrap(),
+        ];
+        let mut rng = StdRng::seed_from_u64(0x9eed);
+        for bins in &menus {
+            for n in [1u32, 2, 7, 40, 300] {
+                // Homogeneous (many residual ties) and heterogeneous spreads.
+                let homo = Workload::homogeneous(n, 0.95).unwrap();
+                assert_eq!(Greedy.solve(&homo, bins).unwrap(), reference_solve(&homo, bins));
+                let thresholds: Vec<f64> =
+                    (0..n).map(|_| rng.random_range(0.05..0.995)).collect();
+                let hetero = Workload::heterogeneous(thresholds).unwrap();
+                assert_eq!(
+                    Greedy.solve(&hetero, bins).unwrap(),
+                    reference_solve(&hetero, bins),
+                    "n = {n}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn homogeneous_plans_are_feasible() {

@@ -40,6 +40,63 @@ pub struct OpqExtended {
     pub inner: OpqBased,
 }
 
+/// One geometric threshold bucket of Algorithm 5: an independent homogeneous
+/// sub-instance of the heterogeneous problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdBucket {
+    /// The bucket-ceiling confidence. Solving the members homogeneously at
+    /// this threshold satisfies every member (each sits at or below the
+    /// ceiling) while over-demanding by at most a factor 2 in θ.
+    pub confidence: f64,
+    /// Global ids of the member tasks, in ascending order. Bucket-local task
+    /// `j` of the sub-plan corresponds to global task `members[j]`.
+    pub members: Vec<TaskId>,
+}
+
+/// Partitions a workload into the geometric threshold buckets of
+/// Algorithm 5, skipping empty buckets. A homogeneous workload yields a
+/// single bucket holding every task at its own threshold (no rounding).
+///
+/// Each bucket is a self-contained homogeneous sub-problem, which makes this
+/// the sharding boundary `slade-engine` parallelizes heterogeneous requests
+/// over: buckets can be solved on different threads and the sub-plans merged
+/// in bucket order, with a result independent of scheduling.
+pub fn partition(workload: &Workload) -> Vec<ThresholdBucket> {
+    if workload.is_homogeneous() {
+        return vec![ThresholdBucket {
+            confidence: workload.threshold(0),
+            members: (0..workload.len()).collect(),
+        }];
+    }
+
+    let theta_max = workload.thetas().fold(f64::MIN, f64::max);
+    let theta_min = workload.thetas().fold(f64::MAX, f64::min);
+    // Bucket k collects tasks with θ ∈ (θ_max/2^{k+1}, θ_max/2^k]; every
+    // task lands in 0..=last_bucket.
+    let last_bucket = (theta_max / theta_min).log2().ceil() as u32;
+
+    let mut buckets: Vec<Vec<TaskId>> = vec![Vec::new(); last_bucket as usize + 1];
+    for i in 0..workload.len() {
+        let k = bucket_of(workload.theta(i), theta_max, last_bucket);
+        buckets[k as usize].push(i);
+    }
+
+    buckets
+        .into_iter()
+        .enumerate()
+        .filter(|(_, members)| !members.is_empty())
+        .map(|(k, members)| {
+            // The bucket ceiling θ_max/2^k, rounded back to a confidence;
+            // every member's threshold is ≤ it and ≥ half of it.
+            let theta_bucket = theta_max / f64::powi(2.0, k as i32);
+            ThresholdBucket {
+                confidence: confidence_from_weight(theta_bucket),
+                members,
+            }
+        })
+        .collect()
+}
+
 impl DecompositionSolver for OpqExtended {
     fn name(&self) -> &'static str {
         "OpqExtended"
@@ -54,29 +111,11 @@ impl DecompositionSolver for OpqExtended {
             return Ok(plan);
         }
 
-        let theta_max = workload.thetas().fold(f64::MIN, f64::max);
-        let theta_min = workload.thetas().fold(f64::MAX, f64::min);
-        // Bucket k collects tasks with θ ∈ (θ_max/2^{k+1}, θ_max/2^k]; every
-        // task lands in 0..=last_bucket.
-        let last_bucket = (theta_max / theta_min).log2().ceil() as u32;
-
-        let mut buckets: Vec<Vec<TaskId>> = vec![Vec::new(); last_bucket as usize + 1];
-        for i in 0..workload.len() {
-            let k = bucket_of(workload.theta(i), theta_max, last_bucket);
-            buckets[k as usize].push(i);
-        }
-
-        for (k, members) in buckets.iter().enumerate() {
-            if members.is_empty() {
-                continue;
-            }
-            // The bucket ceiling θ_max/2^k, rounded back to a confidence;
-            // every member's threshold is ≤ it and ≥ half of it.
-            let theta_bucket = theta_max / f64::powi(2.0, k as i32);
-            let t_bucket = confidence_from_weight(theta_bucket);
-            let sub_workload = Workload::homogeneous(members.len() as u32, t_bucket)?;
+        for bucket in partition(workload) {
+            let sub_workload =
+                Workload::homogeneous(bucket.members.len() as u32, bucket.confidence)?;
             let mut sub = self.inner.solve(&sub_workload, bins)?;
-            sub.remap_tasks(|local| members[local as usize]);
+            sub.remap_tasks(|local| bucket.members[local as usize]);
             plan.merge(sub);
         }
         Ok(plan)
@@ -159,6 +198,31 @@ mod tests {
         let lower: f64 = w.thetas().sum::<f64>() * bins.min_unit_weight_cost();
         assert!(plan.total_cost() >= lower - 1e-9);
         assert!(plan.validate(&w, &bins).unwrap().feasible);
+    }
+
+    #[test]
+    fn partition_covers_every_task_exactly_once() {
+        let w = Workload::heterogeneous(vec![0.3, 0.55, 0.72, 0.9, 0.95]).unwrap();
+        let buckets = partition(&w);
+        let mut seen: Vec<TaskId> = buckets.iter().flat_map(|b| b.members.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        for bucket in &buckets {
+            assert!(bucket.confidence > 0.0 && bucket.confidence < 1.0);
+            // The ceiling dominates every member's own threshold.
+            for &t in &bucket.members {
+                assert!(w.threshold(t) <= bucket.confidence + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_homogeneous_workload_is_one_identity_bucket() {
+        let w = Workload::homogeneous(5, 0.9).unwrap();
+        let buckets = partition(&w);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].confidence, 0.9);
+        assert_eq!(buckets[0].members, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod baseline;
 pub mod bin_set;
 pub mod error;
 pub mod exact;
+pub mod fingerprint;
 pub mod greedy;
 pub mod hardness;
 pub mod hetero;

@@ -68,6 +68,48 @@ impl Default for OpqBased {
     }
 }
 
+/// Reusable solve artifacts for one `(BinSet, θ)` pair: the OPQ candidate
+/// pool plus the group-DP tables, computed once up to a task-count cap.
+///
+/// Artifacts are *instance-size independent*: the DP tables are bottom-up,
+/// so `best[j]`/`choice[j]` for `j ≤ cap` do not depend on `cap`, and any
+/// homogeneous workload against the same menu and threshold can be planned
+/// from the same artifacts via [`OpqBased::solve_with_artifacts`] — with a
+/// plan identical to what [`OpqBased::solve`] would build from scratch.
+/// `slade-engine`'s `ArtifactCache` shares them across requests behind an
+/// `Arc`, which is why the type is plain owned data (`Send + Sync`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveArtifacts {
+    /// Candidate combination pool (union of both OPQ keys, deduplicated).
+    pool: Vec<Combination>,
+    /// `best[j]` — cheapest cost of serving `j` tasks with DP groups.
+    best: Vec<f64>,
+    /// `(group size, pool index)` realizing each `best[j]`.
+    choice: Vec<(u32, usize)>,
+    /// The transformed threshold the artifacts were enumerated against.
+    theta: f64,
+}
+
+impl SolveArtifacts {
+    /// The transformed threshold `θ` these artifacts serve.
+    #[inline]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The candidate combinations the group DP optimizes over.
+    #[inline]
+    pub fn pool(&self) -> &[Combination] {
+        &self.pool
+    }
+
+    /// Largest task count the DP tables cover exactly.
+    #[inline]
+    pub fn dp_cap(&self) -> u32 {
+        (self.best.len() - 1) as u32
+    }
+}
+
 /// One group in the solver's internal plan sketch.
 struct Group {
     /// First task id in the group (tasks are assigned contiguously).
@@ -164,6 +206,85 @@ impl OpqBased {
         }
     }
 
+    /// Precomputes the enumeration pool and group-DP tables for transformed
+    /// threshold `theta` up to this configuration's full `dp_cap`, so the
+    /// result can serve workloads of any size (see [`SolveArtifacts`]).
+    ///
+    /// This is the expensive, workload-independent part of
+    /// [`OpqBased::solve`]; callers that face repeated `(BinSet, θ)` pairs
+    /// (the `slade-engine` service) compute it once and share it.
+    pub fn artifacts(&self, bins: &BinSet, theta: f64) -> Result<SolveArtifacts, SladeError> {
+        self.artifacts_up_to(bins, theta, self.dp_cap.max(1))
+    }
+
+    /// [`OpqBased::artifacts`] with an explicit DP cap (the one-shot solve
+    /// path trims it to `n` so tiny instances don't pay for the full table).
+    fn artifacts_up_to(
+        &self,
+        bins: &BinSet,
+        theta: f64,
+        cap: u32,
+    ) -> Result<SolveArtifacts, SladeError> {
+        let pool = self.candidate_pool(bins, theta);
+        if pool.is_empty() {
+            return Err(SladeError::EmptyEnumeration);
+        }
+        let (best, choice) = Self::group_dp(&pool, bins, cap);
+        Ok(SolveArtifacts {
+            pool,
+            best,
+            choice,
+            theta,
+        })
+    }
+
+    /// Plans `n` tasks (dense ids `0..n`) from precomputed `artifacts`.
+    ///
+    /// Produces exactly the plan [`OpqBased::solve`] would produce for a
+    /// homogeneous workload of `n` tasks at the artifacts' threshold,
+    /// provided `artifacts` came from [`OpqBased::artifacts`] on the same
+    /// solver configuration and bin set — the caller's contract.
+    pub fn solve_with_artifacts(
+        &self,
+        n: u32,
+        artifacts: &SolveArtifacts,
+        bins: &BinSet,
+    ) -> DecompositionPlan {
+        debug_assert!(n >= 1);
+        let mut groups: Vec<Group> = Vec::new();
+        let cap = artifacts.dp_cap();
+        if n <= cap {
+            Self::unroll(&artifacts.choice, n, 0, &mut groups);
+        } else {
+            // One bulk group of n - j tasks plus the best DP tail of j tasks.
+            let mut best_total = f64::INFINITY;
+            let mut pick = (0u32, 0usize);
+            for j in 0..=cap {
+                let bulk = u64::from(n - j);
+                for (qi, q) in artifacts.pool.iter().enumerate() {
+                    let total = artifacts.best[j as usize] + Self::group_cost(q, bins, bulk);
+                    if total < best_total {
+                        best_total = total;
+                        pick = (j, qi);
+                    }
+                }
+            }
+            let (tail, qi) = pick;
+            groups.push(Group {
+                base: 0,
+                size: n - tail,
+                combo: qi,
+            });
+            Self::unroll(&artifacts.choice, tail, n - tail, &mut groups);
+        }
+
+        let mut plan = DecompositionPlan::empty(self.name());
+        for group in &groups {
+            Self::emit_group(group, &artifacts.pool, bins, &mut plan);
+        }
+        plan
+    }
+
     /// Gathers the candidate combination pool: the `pool_size` cheapest
     /// combinations under each OPQ key, deduplicated.
     fn candidate_pool(&self, bins: &BinSet, theta: f64) -> Vec<Combination> {
@@ -202,45 +323,9 @@ impl DecompositionSolver for OpqBased {
         }
         let n = workload.len();
         let theta = workload.theta(0);
-        let pool = self.candidate_pool(bins, theta);
-        if pool.is_empty() {
-            return Err(SladeError::EmptyEnumeration);
-        }
-
         let cap = n.min(self.dp_cap.max(1));
-        let (best, choice) = Self::group_dp(&pool, bins, cap);
-
-        let mut groups: Vec<Group> = Vec::new();
-        if n <= cap {
-            Self::unroll(&choice, n, 0, &mut groups);
-        } else {
-            // One bulk group of n - j tasks plus the best DP tail of j tasks.
-            let mut best_total = f64::INFINITY;
-            let mut pick = (0u32, 0usize);
-            for j in 0..=cap {
-                let bulk = u64::from(n - j);
-                for (qi, q) in pool.iter().enumerate() {
-                    let total = best[j as usize] + Self::group_cost(q, bins, bulk);
-                    if total < best_total {
-                        best_total = total;
-                        pick = (j, qi);
-                    }
-                }
-            }
-            let (tail, qi) = pick;
-            groups.push(Group {
-                base: 0,
-                size: n - tail,
-                combo: qi,
-            });
-            Self::unroll(&choice, tail, n - tail, &mut groups);
-        }
-
-        let mut plan = DecompositionPlan::empty(self.name());
-        for group in &groups {
-            Self::emit_group(group, &pool, bins, &mut plan);
-        }
-        Ok(plan)
+        let artifacts = self.artifacts_up_to(bins, theta, cap)?;
+        Ok(self.solve_with_artifacts(n, &artifacts, bins))
     }
 }
 
@@ -309,6 +394,42 @@ mod tests {
         let a = small_dp.solve(&workload, &bins).unwrap();
         let b = big_dp.solve(&workload, &bins).unwrap();
         assert!((a.total_cost() - b.total_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn artifact_path_reproduces_one_shot_solve_exactly() {
+        // Cached artifacts carry the FULL dp_cap table; the one-shot path
+        // trims the DP to n. The plans must still be identical because the
+        // DP is bottom-up (a prefix of a longer table is the shorter table).
+        let bins = BinSet::paper_example();
+        let solver = OpqBased::default();
+        let artifacts = solver
+            .artifacts(&bins, reliability::theta(0.95))
+            .unwrap();
+        assert_eq!(artifacts.dp_cap(), solver.dp_cap);
+        assert!(!artifacts.pool().is_empty());
+        for n in [1u32, 4, 100, 256, 300, 5_000] {
+            let w = Workload::homogeneous(n, 0.95).unwrap();
+            let one_shot = solver.solve(&w, &bins).unwrap();
+            let from_artifacts = solver.solve_with_artifacts(n, &artifacts, &bins);
+            assert_eq!(one_shot, from_artifacts, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn artifacts_surface_empty_enumeration() {
+        let bins = BinSet::paper_example();
+        let solver = OpqBased {
+            opq: OpqConfig {
+                max_combination_size: Some(1),
+                ..OpqConfig::default()
+            },
+            ..OpqBased::default()
+        };
+        assert!(matches!(
+            solver.artifacts(&bins, reliability::theta(0.95)),
+            Err(SladeError::EmptyEnumeration)
+        ));
     }
 
     #[test]

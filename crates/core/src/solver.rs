@@ -82,7 +82,11 @@ impl Algorithm {
     }
 
     /// Instantiates the algorithm with its default configuration.
-    pub fn solver(self) -> Box<dyn DecompositionSolver> {
+    ///
+    /// The box is `Send + Sync`: every solver is plain configuration data,
+    /// so instances can be shared with or moved across worker threads (the
+    /// `slade-engine` service relies on this).
+    pub fn solver(self) -> Box<dyn DecompositionSolver + Send + Sync> {
         match self {
             Algorithm::Greedy => Box::new(Greedy),
             Algorithm::OpqBased => Box::new(OpqBased::default()),
@@ -115,12 +119,17 @@ pub struct UnknownAlgorithm(pub String);
 
 impl fmt::Display for UnknownAlgorithm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unknown algorithm `{}`; expected one of: greedy, opq-based, \
-             opq-extended, baseline, relaxed, exact",
-            self.0
-        )
+        // The valid names are derived from Algorithm::ALL so this message
+        // can never drift from the registry (names are case-insensitive and
+        // `_` is accepted for `-`).
+        write!(f, "unknown algorithm `{}`; expected one of: ", self.0)?;
+        for (i, a) in Algorithm::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(a.name())?;
+        }
+        Ok(())
     }
 }
 
@@ -138,6 +147,31 @@ impl FromStr for Algorithm {
     }
 }
 
+// Thread-safety audit: the engine shards solves across worker threads, so
+// every type that crosses a thread boundary — solver configurations, the
+// data model, plans, and the cacheable artifacts — must be `Send + Sync`.
+// These are compile-time assertions; they cost nothing at runtime and break
+// the build if a future field (an `Rc`, a raw pointer, a `RefCell`) ever
+// removes the auto impls.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Greedy>();
+    assert_send_sync::<OpqBased>();
+    assert_send_sync::<OpqExtended>();
+    assert_send_sync::<Baseline>();
+    assert_send_sync::<Relaxed>();
+    assert_send_sync::<ExactSolver>();
+    assert_send_sync::<Algorithm>();
+    assert_send_sync::<BinSet>();
+    assert_send_sync::<Workload>();
+    assert_send_sync::<DecompositionPlan>();
+    assert_send_sync::<SladeError>();
+    assert_send_sync::<crate::opq::Combination>();
+    assert_send_sync::<crate::opq_based::SolveArtifacts>();
+    assert_send_sync::<crate::hetero::ThresholdBucket>();
+    assert_send_sync::<Box<dyn DecompositionSolver + Send + Sync>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +184,28 @@ mod tests {
         }
         assert_eq!("OPQ_Based".parse::<Algorithm>().unwrap(), Algorithm::OpqBased);
         assert!("simplex".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn parsing_is_case_insensitive() {
+        for (raw, expect) in [
+            ("GREEDY", Algorithm::Greedy),
+            ("Opq-Based", Algorithm::OpqBased),
+            ("OPQ_EXTENDED", Algorithm::OpqExtended),
+            ("  baseline ", Algorithm::Baseline),
+        ] {
+            assert_eq!(raw.parse::<Algorithm>().unwrap(), expect, "{raw}");
+        }
+    }
+
+    #[test]
+    fn unknown_algorithm_error_lists_every_valid_name() {
+        let err = "simplex".parse::<Algorithm>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("`simplex`"), "{msg}");
+        for a in Algorithm::ALL {
+            assert!(msg.contains(a.name()), "missing {a} in: {msg}");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! detected by solvers that exploit it.
 
 use crate::error::SladeError;
+use crate::fingerprint::Fnv1a;
 use crate::reliability;
 
 /// Identifier of an atomic task: a dense index in `0..n`.
@@ -116,6 +117,29 @@ impl Workload {
         (0..self.len()).map(move |i| self.theta(i))
     }
 
+    /// A stable content signature of the workload: FNV-1a over `n` followed
+    /// by every threshold in task order, floats by bit pattern. A
+    /// heterogeneous workload whose thresholds all coincide signs identically
+    /// to the equivalent [`Workload::homogeneous`] (the constructor already
+    /// collapses the representation, and the signature hashes observable
+    /// thresholds, not storage).
+    ///
+    /// Scope note: `slade-engine`'s *artifact* cache deliberately does NOT
+    /// key on this — OPQ pools and DP tables depend only on `(BinSet, θ)`,
+    /// which is exactly what lets one artifact set serve workloads of every
+    /// size. This signature identifies the full instance; pair it with
+    /// [`BinSet::signature`](crate::bin_set::BinSet::signature) when
+    /// memoizing anything *plan-shaped* (whole-request result caching, the
+    /// streaming-delta seam in DESIGN.md).
+    pub fn signature(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(u64::from(self.len()));
+        for i in 0..self.len() {
+            h.write_f64(self.threshold(i));
+        }
+        h.finish()
+    }
+
     /// Largest threshold `t_max`.
     pub fn max_threshold(&self) -> f64 {
         match &self.spec {
@@ -179,6 +203,19 @@ mod tests {
         let w = Workload::heterogeneous(vec![0.9, 0.9, 0.9]).unwrap();
         assert!(w.is_homogeneous());
         assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn signature_tracks_observable_thresholds() {
+        let homo = Workload::homogeneous(3, 0.9).unwrap();
+        let collapsed = Workload::heterogeneous(vec![0.9, 0.9, 0.9]).unwrap();
+        assert_eq!(homo.signature(), collapsed.signature());
+        let other_n = Workload::homogeneous(4, 0.9).unwrap();
+        assert_ne!(homo.signature(), other_n.signature());
+        let a = Workload::heterogeneous(vec![0.5, 0.9]).unwrap();
+        let b = Workload::heterogeneous(vec![0.9, 0.5]).unwrap();
+        // Task ids are positional, so order is part of the identity.
+        assert_ne!(a.signature(), b.signature());
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! The artifact cache: an LRU over `Arc`-shared solve artifacts.
+
+use crate::fingerprint::Fingerprint;
+use slade_core::opq_based::SolveArtifacts;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A thread-safe LRU cache from [`Fingerprint`] to
+/// [`SolveArtifacts`], shared by every worker of an [`Engine`].
+///
+/// Keys hash by their 64-bit digest but compare by full key material
+/// (`Fingerprint`'s `Eq` checks the bin menu by content), so an FNV digest
+/// collision between two distinct instances lands in the same hash bucket
+/// yet can never alias entries — the standard `HashMap` probe rejects the
+/// mismatched key and the second instance simply computes its own artifacts.
+///
+/// Values are `Arc`ed, so a hit hands out a shared reference while the entry
+/// may be concurrently evicted — readers are never invalidated. The
+/// computation in [`ArtifactCache::get_or_try_insert_with`] runs *outside*
+/// the lock: two workers racing on the same cold fingerprint may both
+/// compute, but artifact computation is deterministic, so whichever insert
+/// lands first wins and both results are interchangeable. That keeps the
+/// critical section to a map probe and preserves determinism.
+///
+/// A capacity of `0` disables caching (every lookup computes); the engine
+/// uses that for apples-to-apples cold benchmarks.
+///
+/// [`Engine`]: crate::Engine
+#[derive(Debug)]
+pub struct ArtifactCache {
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<Fingerprint, Slot>,
+    /// Recency index: `last_used` stamp → key, mirroring `map` one-to-one
+    /// (stamps are unique — the clock only ticks under the lock), so
+    /// eviction pops the smallest stamp in `O(log entries)` instead of
+    /// scanning the whole map.
+    order: BTreeMap<u64, Fingerprint>,
+    /// Monotone logical clock stamping every access, for LRU eviction.
+    clock: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    artifacts: Arc<SolveArtifacts>,
+    last_used: u64,
+}
+
+/// A point-in-time snapshot of cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (includes every lookup when disabled).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries (`0` = caching disabled).
+    pub capacity: usize,
+}
+
+impl ArtifactCache {
+    /// Creates a cache holding at most `capacity` artifact sets.
+    pub fn new(capacity: usize) -> Self {
+        ArtifactCache {
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                clock: 0,
+            }),
+        }
+    }
+
+    /// Maximum number of resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently resident entries.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Returns the artifacts for `key`, computing and caching them with
+    /// `compute` on a miss. Errors from `compute` are passed through and
+    /// nothing is cached.
+    pub fn get_or_try_insert_with<E>(
+        &self,
+        key: Fingerprint,
+        compute: impl FnOnce() -> Result<SolveArtifacts, E>,
+    ) -> Result<Arc<SolveArtifacts>, E> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return compute().map(Arc::new);
+        }
+
+        if let Some(found) = self.touch(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+
+        // Compute outside the lock; see the type-level docs for the race.
+        let computed = Arc::new(compute()?);
+
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let result = match inner.map.get_mut(&key) {
+            // Another worker inserted first: hand out ITS value so every
+            // caller from here on shares one allocation.
+            Some(slot) => {
+                let stale = slot.last_used;
+                slot.last_used = stamp;
+                let shared = Arc::clone(&slot.artifacts);
+                inner.order.remove(&stale);
+                inner.order.insert(stamp, key);
+                shared
+            }
+            None => {
+                inner.map.insert(
+                    key.clone(),
+                    Slot {
+                        artifacts: Arc::clone(&computed),
+                        last_used: stamp,
+                    },
+                );
+                inner.order.insert(stamp, key);
+                computed
+            }
+        };
+        Self::evict_over_capacity(&mut inner, self.capacity);
+        Ok(result)
+    }
+
+    /// Looks `key` up and refreshes its LRU stamp.
+    fn touch(&self, key: &Fingerprint) -> Option<Arc<SolveArtifacts>> {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let slot = inner.map.get_mut(key)?;
+        let stale = slot.last_used;
+        slot.last_used = stamp;
+        let shared = Arc::clone(&slot.artifacts);
+        inner.order.remove(&stale);
+        inner.order.insert(stamp, key.clone());
+        Some(shared)
+    }
+
+    fn evict_over_capacity(inner: &mut Inner, capacity: usize) {
+        while inner.map.len() > capacity {
+            let Some((_, coldest)) = inner.order.pop_first() else {
+                return;
+            };
+            inner.map.remove(&coldest);
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Jobs never panic while holding this lock (it is released before
+        // any solver runs), but recover from poisoning anyway: the map is
+        // a cache, so its state is always safe to reuse.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Fingerprint;
+    use slade_core::bin_set::BinSet;
+    use slade_core::opq_based::OpqBased;
+    use slade_core::reliability::theta;
+    use slade_core::SladeError;
+
+    fn artifacts_for(t: f64) -> (Fingerprint, SolveArtifacts) {
+        let bins = Arc::new(BinSet::paper_example());
+        let solver = OpqBased::default();
+        let key = Fingerprint::new(Arc::clone(&bins), theta(t), &solver);
+        let artifacts = solver.artifacts(&bins, theta(t)).unwrap();
+        (key, artifacts)
+    }
+
+    #[test]
+    fn hit_returns_the_cached_arc() {
+        let cache = ArtifactCache::new(4);
+        let (key, artifacts) = artifacts_for(0.95);
+        let first = cache
+            .get_or_try_insert_with::<SladeError>(key.clone(), || Ok(artifacts))
+            .unwrap();
+        let second = cache
+            .get_or_try_insert_with::<SladeError>(key, || panic!("must not recompute"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = ArtifactCache::new(2);
+        let (k1, a1) = artifacts_for(0.90);
+        let (k2, a2) = artifacts_for(0.95);
+        let (k3, a3) = artifacts_for(0.99);
+        cache
+            .get_or_try_insert_with::<SladeError>(k1.clone(), || Ok(a1.clone()))
+            .unwrap();
+        cache
+            .get_or_try_insert_with::<SladeError>(k2.clone(), || Ok(a2))
+            .unwrap();
+        // Touch k1 so k2 is now the coldest, then overflow with k3.
+        cache
+            .get_or_try_insert_with::<SladeError>(k1.clone(), || panic!("k1 is resident"))
+            .unwrap();
+        cache
+            .get_or_try_insert_with::<SladeError>(k3, || Ok(a3))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        // k1 survived the eviction (it was touched after k2)...
+        cache
+            .get_or_try_insert_with::<SladeError>(k1, || panic!("k1 must survive"))
+            .unwrap();
+        // ...and k2, the coldest at overflow time, was the one evicted.
+        let mut recomputed = false;
+        let (_, a2_again) = artifacts_for(0.95);
+        cache
+            .get_or_try_insert_with::<SladeError>(k2, || {
+                recomputed = true;
+                Ok(a2_again)
+            })
+            .unwrap();
+        assert!(recomputed);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ArtifactCache::new(0);
+        let (key, artifacts) = artifacts_for(0.95);
+        let other = artifacts.clone();
+        cache
+            .get_or_try_insert_with::<SladeError>(key.clone(), || Ok(artifacts))
+            .unwrap();
+        let mut recomputed = false;
+        cache
+            .get_or_try_insert_with::<SladeError>(key, || {
+                recomputed = true;
+                Ok(other)
+            })
+            .unwrap();
+        assert!(recomputed);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn compute_errors_pass_through_and_cache_nothing() {
+        let cache = ArtifactCache::new(4);
+        let (key, artifacts) = artifacts_for(0.95);
+        let err = cache
+            .get_or_try_insert_with(key.clone(), || {
+                Err::<SolveArtifacts, _>(SladeError::EmptyEnumeration)
+            })
+            .unwrap_err();
+        assert_eq!(err, SladeError::EmptyEnumeration);
+        assert!(cache.is_empty());
+        // The next lookup can still succeed.
+        cache
+            .get_or_try_insert_with::<SladeError>(key, || Ok(artifacts))
+            .unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Canonical cache keys for solve artifacts.
+
+use slade_core::bin_set::BinSet;
+use slade_core::fingerprint::Fnv1a;
+use slade_core::opq::OpqConfig;
+use slade_core::opq_based::OpqBased;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The 64-bit digest of one artifact computation's identity: the bin-menu
+/// signature, the transformed threshold (bit pattern), and every solver knob
+/// that shapes the OPQ pool or the DP tables.
+///
+/// FNV-1a is not collision-resistant, so the digest alone is never trusted
+/// as an identity: the digest is only the *hash* of a cache key, while
+/// `Fingerprint`'s `Eq` is decided over the full key material (the cache
+/// stores the material in each entry and verifies it on every hit, so a
+/// collision costs one spurious probe, never a wrong artifact). Two
+/// requests with genuinely equal inputs are served by
+/// identical [`SolveArtifacts`](slade_core::opq_based::SolveArtifacts) —
+/// artifact computation is deterministic — which is the invariant that makes
+/// cache hits indistinguishable from cold solves.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    digest: u64,
+    // The full key material, kept for exact equality on hash collisions.
+    bins: Arc<BinSet>,
+    theta_bits: u64,
+    pool_size: usize,
+    dp_cap: u32,
+    opq: OpqConfig,
+}
+
+impl Fingerprint {
+    /// Fingerprints an artifact computation for `bins` at transformed
+    /// threshold `theta` under `solver`'s configuration.
+    pub fn new(bins: Arc<BinSet>, theta: f64, solver: &OpqBased) -> Self {
+        let mut h = Fnv1a::new();
+        h.write_u64(bins.signature());
+        h.write_f64(theta);
+        h.write_u64(solver.pool_size as u64);
+        h.write_u64(u64::from(solver.dp_cap));
+        h.write_u64(
+            solver
+                .opq
+                .max_combination_size
+                .map_or(u64::MAX, |s| s as u64),
+        );
+        h.write_u64(solver.opq.max_expansions as u64);
+        Fingerprint {
+            digest: h.finish(),
+            bins,
+            theta_bits: theta.to_bits(),
+            pool_size: solver.pool_size,
+            dp_cap: solver.dp_cap,
+            opq: solver.opq.clone(),
+        }
+    }
+
+    /// The raw 64-bit digest.
+    pub fn as_u64(&self) -> u64 {
+        self.digest
+    }
+
+    /// Whether `other` carries the same full key material — the bin menu is
+    /// compared by content, not by digest, so a digest collision between
+    /// distinct instances can never alias their cache entries.
+    fn matches(&self, other: &Self) -> bool {
+        self.digest == other.digest
+            && self.theta_bits == other.theta_bits
+            && self.pool_size == other.pool_size
+            && self.dp_cap == other.dp_cap
+            && self.opq == other.opq
+            && *self.bins == *other.bins
+    }
+}
+
+impl PartialEq for Fingerprint {
+    fn eq(&self, other: &Self) -> bool {
+        self.matches(other)
+    }
+}
+impl Eq for Fingerprint {}
+
+impl Hash for Fingerprint {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.digest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slade_core::reliability::theta;
+
+    #[test]
+    fn equal_inputs_fingerprint_equal() {
+        let bins = Arc::new(BinSet::paper_example());
+        let same_bins = Arc::new(BinSet::paper_example()); // distinct Arc
+        let solver = OpqBased::default();
+        let a = Fingerprint::new(bins, theta(0.95), &solver);
+        let b = Fingerprint::new(same_bins, theta(0.95), &solver);
+        assert_eq!(a, b);
+        assert_eq!(a.as_u64(), b.as_u64());
+    }
+
+    #[test]
+    fn every_component_discriminates() {
+        let bins = Arc::new(BinSet::paper_example());
+        let solver = OpqBased::default();
+        let base = Fingerprint::new(Arc::clone(&bins), theta(0.95), &solver);
+
+        assert_ne!(
+            base,
+            Fingerprint::new(Arc::clone(&bins), theta(0.9501), &solver)
+        );
+
+        let other_bins = Arc::new(bins.truncated(2).unwrap());
+        assert_ne!(base, Fingerprint::new(other_bins, theta(0.95), &solver));
+
+        let other_solver = OpqBased {
+            pool_size: solver.pool_size + 1,
+            ..OpqBased::default()
+        };
+        assert_ne!(
+            base,
+            Fingerprint::new(Arc::clone(&bins), theta(0.95), &other_solver)
+        );
+
+        let other_cap = OpqBased {
+            dp_cap: 128,
+            ..OpqBased::default()
+        };
+        assert_ne!(base, Fingerprint::new(bins, theta(0.95), &other_cap));
+    }
+
+    #[test]
+    fn digest_collisions_do_not_compare_equal() {
+        // Forge two fingerprints with the same digest but different key
+        // material: equality must still distinguish them (the cache relies
+        // on this to survive FNV collisions).
+        let bins = Arc::new(BinSet::paper_example());
+        let solver = OpqBased::default();
+        let a = Fingerprint::new(Arc::clone(&bins), theta(0.95), &solver);
+        let mut b = Fingerprint::new(bins, theta(0.90), &solver);
+        b.digest = a.digest;
+        assert_eq!(a.as_u64(), b.as_u64());
+        assert_ne!(a, b);
+    }
+}

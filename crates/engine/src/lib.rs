@@ -1,0 +1,58 @@
+//! # slade-engine — a concurrent, caching decomposition service layer
+//!
+//! The solvers in `slade-core` are one-shot functions: one thread, one
+//! instance, one plan. A production decomposition service faces a different
+//! shape of load — many requesters posting workloads against a shared bin
+//! marketplace, with heavy repetition in `(bin menu, threshold)` pairs. This
+//! crate closes that gap with three pieces, std-only:
+//!
+//! * **a fixed worker pool** ([`Engine`]) — `std::thread` workers pulling
+//!   jobs from one bounded `mpsc` channel, so [`Engine::submit`] exerts
+//!   backpressure instead of queueing unboundedly;
+//! * **sharded solves** — heterogeneous requests split into their
+//!   [`slade_core::hetero::partition`] threshold buckets and (optionally)
+//!   large homogeneous requests into fixed-size chunks, each an independent
+//!   job; sub-plans are merged in shard order, so the result is a function
+//!   of the request alone, never of thread count or scheduling;
+//! * **an artifact cache** ([`ArtifactCache`]) — an LRU keyed by a canonical
+//!   [`Fingerprint`] of `(BinSet signature, θ, solver knobs)` memoizing the
+//!   OPQ enumeration pool and group-DP tables
+//!   ([`slade_core::opq_based::SolveArtifacts`]) behind an `Arc`, so a
+//!   repeated `(BinSet, θ)` skips enumeration entirely.
+//!
+//! ## Determinism
+//!
+//! Every job is a pure function of the request (solver configurations are
+//! data; the randomized Baseline takes its seed from
+//! [`EngineRequest::seed`]), sharding is decided at submit time from the
+//! request alone, and [`PlanHandle::wait`] merges shard results in shard
+//! order. Hence the same request produces byte-identical plans at
+//! `threads = 1` and `threads = N`, and a warm-cache solve equals the cold
+//! solve for the same fingerprint — both invariants are pinned by this
+//! crate's tests.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use slade_core::prelude::*;
+//! use slade_engine::{Engine, EngineConfig, EngineRequest};
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let bins = Arc::new(BinSet::paper_example());
+//! let request = EngineRequest::new(
+//!     Algorithm::OpqBased,
+//!     Workload::homogeneous(4, 0.95).unwrap(),
+//!     bins,
+//! );
+//! let plan = engine.solve(request).unwrap();
+//! assert!((plan.total_cost() - 0.68).abs() < 1e-9); // Example 9
+//! ```
+
+mod cache;
+mod fingerprint;
+mod service;
+
+pub use cache::{ArtifactCache, CacheStats};
+pub use fingerprint::Fingerprint;
+pub use service::{Engine, EngineConfig, EngineError, EngineRequest, PlanHandle};

@@ -1,0 +1,616 @@
+//! The engine: a fixed worker pool, request sharding, and blocking handles.
+
+use crate::cache::{ArtifactCache, CacheStats};
+use crate::fingerprint::Fingerprint;
+use slade_core::baseline::{Baseline, BaselineConfig};
+use slade_core::bin_set::BinSet;
+use slade_core::hetero;
+use slade_core::opq_based::OpqBased;
+use slade_core::plan::DecompositionPlan;
+use slade_core::reliability;
+use slade_core::solver::{Algorithm, DecompositionSolver};
+use slade_core::task::{TaskId, Workload};
+use slade_core::SladeError;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Configuration of an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads in the pool (clamped to at least 1). The default is
+    /// the machine's available parallelism.
+    pub threads: usize,
+    /// Bound of the shared job queue; [`Engine::submit`] blocks when it is
+    /// full, which is the engine's backpressure. Clamped to at least 1.
+    pub queue_capacity: usize,
+    /// [`ArtifactCache`] capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+    /// When set, homogeneous OPQ requests of at least twice this many tasks
+    /// are split into independent chunks of roughly this size, solved in
+    /// parallel, and merged. Chunking is decided by the request alone (never
+    /// by thread count), so plans stay deterministic; each chunk packs its
+    /// own bins, so the merged plan can post up to one extra leftover group
+    /// per chunk compared to the unsharded solve. `None` (the default) keeps
+    /// every homogeneous request as a single shard, which is cost-identical
+    /// to [`OpqBased::solve`].
+    pub homogeneous_shard: Option<u32>,
+    /// Configuration used for every artifact-accelerated (OPQ) shard; also
+    /// the configuration whose knobs enter the cache [`Fingerprint`].
+    pub solver: OpqBased,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: thread::available_parallelism().map_or(4, |n| n.get()),
+            queue_capacity: 256,
+            cache_capacity: 64,
+            homogeneous_shard: None,
+            solver: OpqBased::default(),
+        }
+    }
+}
+
+/// One decomposition request, self-contained and cheap to move across
+/// threads (the bin menu is shared by `Arc`).
+#[derive(Debug, Clone)]
+pub struct EngineRequest {
+    /// The solver to run.
+    pub algorithm: Algorithm,
+    /// The instance's workload.
+    pub workload: Workload,
+    /// The instance's bin menu.
+    pub bins: Arc<BinSet>,
+    /// Per-request seed for randomized solvers (only [`Algorithm::Baseline`]
+    /// consumes it today). Deterministic solvers ignore it.
+    pub seed: u64,
+}
+
+impl EngineRequest {
+    /// A request with the default seed `0`.
+    pub fn new(algorithm: Algorithm, workload: Workload, bins: Arc<BinSet>) -> Self {
+        EngineRequest {
+            algorithm,
+            workload,
+            bins,
+            seed: 0,
+        }
+    }
+
+    /// Sets the seed consumed by randomized solvers.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Errors surfaced by [`PlanHandle::wait`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A shard's solver failed; the underlying error.
+    Solve(SladeError),
+    /// A shard's worker disappeared before delivering a result (it panicked
+    /// while solving, or the engine shut down underneath the handle).
+    ShardLost,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Solve(e) => write!(f, "shard solve failed: {e}"),
+            EngineError::ShardLost => {
+                write!(f, "a worker disappeared before delivering its shard")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Solve(e) => Some(e),
+            EngineError::ShardLost => None,
+        }
+    }
+}
+
+impl From<SladeError> for EngineError {
+    fn from(e: SladeError) -> Self {
+        EngineError::Solve(e)
+    }
+}
+
+/// How a shard's bucket-local / chunk-local task ids map back to the
+/// request's global ids.
+#[derive(Debug, Clone)]
+enum ShardRemap {
+    /// Shard-local id `j` is global id `base + j`.
+    Offset(TaskId),
+    /// Shard-local id `j` is global id `members[j]` (threshold buckets).
+    Members(Arc<Vec<TaskId>>),
+}
+
+/// What one shard computes.
+enum ShardWork {
+    /// A homogeneous OPQ solve of `n` tasks at `threshold`, accelerated by
+    /// the artifact cache.
+    Opq { n: u32, threshold: f64 },
+    /// Run the request's algorithm directly on its full workload.
+    Direct,
+}
+
+struct Shard {
+    work: ShardWork,
+    remap: ShardRemap,
+}
+
+type ShardResult = (usize, Result<DecompositionPlan, SladeError>);
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The label the requested algorithm's own solver stamps on its plans —
+/// taken from the solver registry itself so it can never drift — so wrapped
+/// engine results compare equal to direct `solve` calls (the derived
+/// `PartialEq` on [`DecompositionPlan`] includes the label). Only OPQ
+/// requests are ever wrapped; every other algorithm runs as a single
+/// pass-through shard carrying whatever label its solver chose.
+fn plan_label(algorithm: Algorithm) -> &'static str {
+    algorithm.solver().name()
+}
+
+/// A blocking handle to one submitted request.
+///
+/// Dropping the handle without calling [`PlanHandle::wait`] abandons the
+/// result; the shards still run to completion (they are already queued) but
+/// their plans are discarded.
+#[must_use = "a PlanHandle does nothing until wait()ed on"]
+pub struct PlanHandle {
+    rx: Receiver<ShardResult>,
+    remaps: Vec<ShardRemap>,
+    /// `None`: a single identity shard whose result is already exactly what
+    /// a direct `solve` call would return — pass it through untouched.
+    /// `Some(label)`: wrap the merged shards under this label, mirroring
+    /// how `OpqExtended` itself wraps its per-bucket `OpqBased` sub-plans —
+    /// so engine results compare equal (label included) to the sequential
+    /// solver's whenever sharding does not change the plan.
+    wrap: Option<&'static str>,
+}
+
+impl PlanHandle {
+    /// Blocks until every shard has reported, then merges the sub-plans in
+    /// shard order (never in completion order — that is what keeps the
+    /// result independent of scheduling).
+    pub fn wait(self) -> Result<DecompositionPlan, EngineError> {
+        let shards = self.remaps.len();
+        let mut subs: Vec<Option<DecompositionPlan>> = (0..shards).map(|_| None).collect();
+        for _ in 0..shards {
+            let (index, result) = self.rx.recv().map_err(|_| EngineError::ShardLost)?;
+            subs[index] = Some(result?);
+        }
+
+        let Some(label) = self.wrap else {
+            return Ok(subs
+                .into_iter()
+                .next()
+                .flatten()
+                .expect("an unwrapped handle has exactly one shard"));
+        };
+
+        let mut plan = DecompositionPlan::empty(label);
+        for (sub, remap) in subs.into_iter().zip(&self.remaps) {
+            let sub = sub.expect("every shard index reported exactly once");
+            plan.merge(apply_remap(sub, remap));
+        }
+        Ok(plan)
+    }
+}
+
+fn apply_remap(mut plan: DecompositionPlan, remap: &ShardRemap) -> DecompositionPlan {
+    match remap {
+        ShardRemap::Offset(0) => {}
+        ShardRemap::Offset(base) => plan.remap_tasks(|t| t + base),
+        ShardRemap::Members(members) => plan.remap_tasks(|t| members[t as usize]),
+    }
+    plan
+}
+
+/// The concurrent decomposition service; see the crate docs for the design.
+///
+/// Dropping the engine closes the job queue and joins every worker, so
+/// already-queued shards finish first (outstanding [`PlanHandle`]s stay
+/// valid during the drop).
+pub struct Engine {
+    /// `Some` while accepting work; taken on drop to hang up the queue.
+    queue: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    cache: Arc<ArtifactCache>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Spawns the worker pool described by `config`.
+    pub fn new(config: EngineConfig) -> Self {
+        let (queue, jobs) = sync_channel::<Job>(config.queue_capacity.max(1));
+        let jobs = Arc::new(Mutex::new(jobs));
+        let workers = (0..config.threads.max(1))
+            .map(|i| {
+                let jobs = Arc::clone(&jobs);
+                thread::Builder::new()
+                    .name(format!("slade-worker-{i}"))
+                    .spawn(move || worker_loop(&jobs))
+                    .expect("spawning an engine worker thread")
+            })
+            .collect();
+        let cache = Arc::new(ArtifactCache::new(config.cache_capacity));
+        Engine {
+            queue: Some(queue),
+            workers,
+            cache,
+            config,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Snapshot of the artifact cache's hit/miss/occupancy counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Submits one request, returning a blocking [`PlanHandle`].
+    ///
+    /// Blocks while the job queue is full (backpressure). Sharding is
+    /// decided here, from the request alone.
+    pub fn submit(&self, request: EngineRequest) -> PlanHandle {
+        let shards = self.shard(&request);
+        // Pass through untouched when the one shard already produces what a
+        // direct `solve` would: any Direct shard (it literally runs the
+        // requested solver), or a whole-workload OPQ shard for OpqBased
+        // (solve_with_artifacts reproduces OpqBased::solve exactly).
+        // Everything else is wrapped under the requested algorithm's label.
+        let wrap = match shards.as_slice() {
+            [Shard {
+                work: ShardWork::Direct,
+                remap: ShardRemap::Offset(0),
+            }] => None,
+            [Shard {
+                work: ShardWork::Opq { .. },
+                remap: ShardRemap::Offset(0),
+            }] if request.algorithm == Algorithm::OpqBased => None,
+            _ => Some(plan_label(request.algorithm)),
+        };
+        let (result_tx, result_rx) = channel::<ShardResult>();
+        let mut remaps = Vec::with_capacity(shards.len());
+        let queue = self
+            .queue
+            .as_ref()
+            .expect("the queue is open for the engine's whole lifetime");
+        for (index, shard) in shards.into_iter().enumerate() {
+            remaps.push(shard.remap);
+            let job = self.make_job(index, shard.work, &request, result_tx.clone());
+            queue
+                .send(job)
+                .expect("workers outlive the engine and never hang up the queue");
+        }
+        PlanHandle {
+            rx: result_rx,
+            remaps,
+            wrap,
+        }
+    }
+
+    /// Submits every request in order and returns their handles, preserving
+    /// order. Shards of different requests interleave freely in the pool;
+    /// each handle's result is still deterministic.
+    pub fn submit_batch(
+        &self,
+        requests: impl IntoIterator<Item = EngineRequest>,
+    ) -> Vec<PlanHandle> {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+
+    /// Convenience: submit one request and block for its plan.
+    pub fn solve(&self, request: EngineRequest) -> Result<DecompositionPlan, EngineError> {
+        self.submit(request).wait()
+    }
+
+    /// Splits a request into independent shards (see the crate docs).
+    fn shard(&self, request: &EngineRequest) -> Vec<Shard> {
+        let opq_algorithm = matches!(
+            request.algorithm,
+            Algorithm::OpqBased | Algorithm::OpqExtended
+        );
+        if !opq_algorithm {
+            return vec![Shard {
+                work: ShardWork::Direct,
+                remap: ShardRemap::Offset(0),
+            }];
+        }
+
+        if request.workload.is_homogeneous() {
+            let n = request.workload.len();
+            let threshold = request.workload.threshold(0);
+            // `n / 2 >= s` (not `n >= 2 * s`) so huge shard sizes cannot
+            // overflow; chunks only form when at least two would result.
+            if let Some(target) = self.config.homogeneous_shard.filter(|&s| s >= 1 && n / 2 >= s)
+            {
+                // Chunks as even as possible: k = ⌈n/target⌉ chunks whose
+                // sizes differ by at most one, assigned low-id-first.
+                let chunks = n.div_ceil(target);
+                let small = n / chunks;
+                let extra = n % chunks;
+                let mut base: TaskId = 0;
+                return (0..chunks)
+                    .map(|c| {
+                        let size = if c < extra { small + 1 } else { small };
+                        let shard = Shard {
+                            work: ShardWork::Opq { n: size, threshold },
+                            remap: ShardRemap::Offset(base),
+                        };
+                        base += size;
+                        shard
+                    })
+                    .collect();
+            }
+            return vec![Shard {
+                work: ShardWork::Opq { n, threshold },
+                remap: ShardRemap::Offset(0),
+            }];
+        }
+
+        if request.algorithm == Algorithm::OpqExtended {
+            return hetero::partition(&request.workload)
+                .into_iter()
+                .map(|bucket| Shard {
+                    work: ShardWork::Opq {
+                        n: bucket.members.len() as u32,
+                        threshold: bucket.confidence,
+                    },
+                    remap: ShardRemap::Members(Arc::new(bucket.members)),
+                })
+                .collect();
+        }
+
+        // OpqBased on a heterogeneous workload: let the solver itself report
+        // HeterogeneousUnsupported through the normal result path.
+        vec![Shard {
+            work: ShardWork::Direct,
+            remap: ShardRemap::Offset(0),
+        }]
+    }
+
+    /// Builds the closure one worker will run for `work`.
+    fn make_job(
+        &self,
+        index: usize,
+        work: ShardWork,
+        request: &EngineRequest,
+        result_tx: Sender<ShardResult>,
+    ) -> Job {
+        match work {
+            ShardWork::Opq { n, threshold } => {
+                let bins = Arc::clone(&request.bins);
+                let cache = Arc::clone(&self.cache);
+                let solver = self.config.solver.clone();
+                Box::new(move || {
+                    let theta = reliability::theta(threshold);
+                    let key = Fingerprint::new(Arc::clone(&bins), theta, &solver);
+                    let result = cache
+                        .get_or_try_insert_with(key, || solver.artifacts(&bins, theta))
+                        .map(|artifacts| solver.solve_with_artifacts(n, &artifacts, &bins));
+                    let _ = result_tx.send((index, result));
+                })
+            }
+            ShardWork::Direct => {
+                let algorithm = request.algorithm;
+                let workload = request.workload.clone();
+                let bins = Arc::clone(&request.bins);
+                let seed = request.seed;
+                Box::new(move || {
+                    let solver: Box<dyn DecompositionSolver + Send + Sync> = match algorithm {
+                        // The one randomized solver takes the request's seed.
+                        Algorithm::Baseline => Box::new(Baseline {
+                            config: BaselineConfig {
+                                seed,
+                                ..BaselineConfig::default()
+                            },
+                        }),
+                        other => other.solver(),
+                    };
+                    let _ = result_tx.send((index, solver.solve(&workload, &bins)));
+                })
+            }
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        drop(self.queue.take()); // hang up; workers drain the queue and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(jobs: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the lock only for the dequeue, never while solving.
+        let job = {
+            let guard = jobs.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv()
+        };
+        match job {
+            // A panicking solver must not take the worker down with it: the
+            // unwind drops the shard's result sender (the waiting handle
+            // sees `ShardLost`) and the worker moves on to the next job.
+            Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+            Err(_) => return, // queue hung up: engine is shutting down
+        }
+    }
+}
+
+// The engine is shared across threads by services built on top of it.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<EngineRequest>();
+    assert_send_sync::<ArtifactCache>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_bins() -> Arc<BinSet> {
+        Arc::new(BinSet::paper_example())
+    }
+
+    #[test]
+    fn example9_through_the_engine() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        let request = EngineRequest::new(
+            Algorithm::OpqBased,
+            Workload::homogeneous(4, 0.95).unwrap(),
+            paper_bins(),
+        );
+        let plan = engine.solve(request).unwrap();
+        assert!((plan.total_cost() - 0.68).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_plan_equals_direct_solve_for_unsharded_requests() {
+        let engine = Engine::new(EngineConfig {
+            threads: 3,
+            ..EngineConfig::default()
+        });
+        let bins = paper_bins();
+        for n in [1u32, 100, 2_000] {
+            let workload = Workload::homogeneous(n, 0.95).unwrap();
+            let direct = OpqBased::default().solve(&workload, &bins).unwrap();
+            let request = EngineRequest::new(Algorithm::OpqBased, workload, Arc::clone(&bins));
+            assert_eq!(engine.solve(request).unwrap(), direct, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn hetero_requests_shard_across_buckets_and_stay_feasible() {
+        let engine = Engine::new(EngineConfig {
+            threads: 4,
+            ..EngineConfig::default()
+        });
+        let bins = paper_bins();
+        let workload =
+            Workload::heterogeneous(vec![0.3, 0.55, 0.72, 0.9, 0.95, 0.11, 0.64]).unwrap();
+        let request =
+            EngineRequest::new(Algorithm::OpqExtended, workload.clone(), Arc::clone(&bins));
+        let plan = engine.solve(request).unwrap();
+        let audit = plan.validate(&workload, &bins).unwrap();
+        assert!(audit.feasible, "unsatisfied: {:?}", audit.unsatisfied);
+        // The whole plan — bins, assignment, label — equals the sequential
+        // solver's (same buckets in the same order, same sub-solves).
+        let direct = Algorithm::OpqExtended.solve(&workload, &bins).unwrap();
+        assert_eq!(plan, direct);
+    }
+
+    #[test]
+    fn engine_plans_carry_the_requested_algorithm_label() {
+        let engine = Engine::new(EngineConfig::default());
+        let bins = paper_bins();
+        // Homogeneous OpqExtended: one OPQ shard internally, but the result
+        // must still read (and compare) as the requested algorithm's plan.
+        let workload = Workload::homogeneous(4, 0.95).unwrap();
+        let request =
+            EngineRequest::new(Algorithm::OpqExtended, workload.clone(), Arc::clone(&bins));
+        let plan = engine.solve(request).unwrap();
+        assert_eq!(plan.algorithm(), "OpqExtended");
+        let direct = Algorithm::OpqExtended.solve(&workload, &bins).unwrap();
+        assert_eq!(plan, direct);
+    }
+
+    #[test]
+    fn sharded_homogeneous_requests_are_feasible_and_deterministic() {
+        let config = EngineConfig {
+            threads: 4,
+            homogeneous_shard: Some(64),
+            ..EngineConfig::default()
+        };
+        let bins = paper_bins();
+        let workload = Workload::homogeneous(500, 0.95).unwrap();
+        let request = EngineRequest::new(Algorithm::OpqBased, workload.clone(), bins.clone());
+
+        let engine = Engine::new(config.clone());
+        let plan = engine.solve(request.clone()).unwrap();
+        let audit = plan.validate(&workload, &bins).unwrap();
+        assert!(audit.feasible);
+
+        let again = Engine::new(config).solve(request).unwrap();
+        assert_eq!(plan, again);
+    }
+
+    #[test]
+    fn opq_based_heterogeneous_error_propagates() {
+        let engine = Engine::new(EngineConfig::default());
+        let request = EngineRequest::new(
+            Algorithm::OpqBased,
+            Workload::heterogeneous(vec![0.5, 0.9]).unwrap(),
+            paper_bins(),
+        );
+        assert_eq!(
+            engine.solve(request),
+            Err(EngineError::Solve(SladeError::HeterogeneousUnsupported {
+                solver: "OpqBased"
+            }))
+        );
+    }
+
+    #[test]
+    fn tiny_queue_exerts_backpressure_without_deadlock() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            queue_capacity: 1,
+            ..EngineConfig::default()
+        });
+        let bins = paper_bins();
+        let handles = engine.submit_batch((0..32).map(|i| {
+            EngineRequest::new(
+                Algorithm::OpqBased,
+                Workload::homogeneous(10 + i, 0.95).unwrap(),
+                Arc::clone(&bins),
+            )
+        }));
+        for handle in handles {
+            assert!(handle.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn per_request_seeds_reach_the_baseline() {
+        let engine = Engine::new(EngineConfig::default());
+        let bins = paper_bins();
+        let workload = Workload::homogeneous(40, 0.95).unwrap();
+        let plan_a = engine
+            .solve(
+                EngineRequest::new(Algorithm::Baseline, workload.clone(), bins.clone())
+                    .with_seed(7),
+            )
+            .unwrap();
+        let plan_a_again = engine
+            .solve(
+                EngineRequest::new(Algorithm::Baseline, workload.clone(), bins.clone())
+                    .with_seed(7),
+            )
+            .unwrap();
+        assert_eq!(plan_a, plan_a_again);
+        assert!(plan_a.validate(&workload, &bins).unwrap().feasible);
+    }
+}

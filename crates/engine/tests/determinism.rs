@@ -1,0 +1,161 @@
+//! The engine's two determinism contracts, pinned end to end:
+//!
+//! 1. the same request batch produces byte-identical plans at `threads = 1`
+//!    and `threads = 8`, sharding and all;
+//! 2. a warm-cache solve returns a plan identical to the cold solve for the
+//!    same fingerprint.
+
+use slade_core::prelude::*;
+use slade_engine::{Engine, EngineConfig, EngineRequest};
+use std::sync::Arc;
+
+/// A mixed batch exercising every sharding path: unsharded and chunked
+/// homogeneous OPQ, bucket-sharded heterogeneous OPQ, the direct path
+/// (greedy), and the seeded randomized baseline.
+fn mixed_batch(bins: &Arc<BinSet>) -> Vec<EngineRequest> {
+    let spread: Vec<f64> = (0..60)
+        .map(|i| 0.08 + 0.9 * (f64::from(i) / 59.0))
+        .collect();
+    vec![
+        EngineRequest::new(
+            Algorithm::OpqBased,
+            Workload::homogeneous(4, 0.95).unwrap(),
+            Arc::clone(bins),
+        ),
+        // Large enough to split into chunks under homogeneous_shard below.
+        EngineRequest::new(
+            Algorithm::OpqBased,
+            Workload::homogeneous(700, 0.99).unwrap(),
+            Arc::clone(bins),
+        ),
+        EngineRequest::new(
+            Algorithm::OpqExtended,
+            Workload::heterogeneous(spread).unwrap(),
+            Arc::clone(bins),
+        ),
+        EngineRequest::new(
+            Algorithm::Greedy,
+            Workload::heterogeneous(vec![0.5, 0.6, 0.7, 0.86, 0.99, 0.31]).unwrap(),
+            Arc::clone(bins),
+        ),
+        EngineRequest::new(
+            Algorithm::Baseline,
+            Workload::homogeneous(30, 0.9).unwrap(),
+            Arc::clone(bins),
+        )
+        .with_seed(0xC0FFEE),
+    ]
+}
+
+fn config(threads: usize) -> EngineConfig {
+    EngineConfig {
+        threads,
+        queue_capacity: 8,
+        cache_capacity: 16,
+        homogeneous_shard: Some(128),
+        ..EngineConfig::default()
+    }
+}
+
+fn run_batch(threads: usize, bins: &Arc<BinSet>) -> Vec<DecompositionPlan> {
+    let engine = Engine::new(config(threads));
+    let handles = engine.submit_batch(mixed_batch(bins));
+    handles
+        .into_iter()
+        .map(|h| h.wait().expect("every request in the batch solves"))
+        .collect()
+}
+
+#[test]
+fn unsharded_engine_plans_equal_direct_solver_plans() {
+    // The engine's pass-through/wrapper labeling must make its results
+    // compare equal — label included — to the sequential solvers whenever
+    // sharding does not change the plan (i.e. everything except chunked
+    // homogeneous requests).
+    let bins = Arc::new(BinSet::paper_example());
+    let engine = Engine::new(EngineConfig {
+        threads: 4,
+        ..EngineConfig::default()
+    });
+    let homo = Workload::homogeneous(40, 0.95).unwrap();
+    let hetero = Workload::heterogeneous(vec![0.3, 0.55, 0.72, 0.9, 0.95]).unwrap();
+    let cases = [
+        (Algorithm::OpqBased, homo.clone()),
+        (Algorithm::OpqExtended, homo.clone()),
+        (Algorithm::OpqExtended, hetero.clone()),
+        (Algorithm::Greedy, hetero),
+        (Algorithm::Relaxed, Workload::homogeneous(9, 0.7).unwrap()),
+        (Algorithm::Exact, Workload::homogeneous(3, 0.9).unwrap()),
+    ];
+    for (algorithm, workload) in cases {
+        let direct = algorithm.solve(&workload, &bins).unwrap();
+        let via_engine = engine
+            .solve(EngineRequest::new(algorithm, workload, Arc::clone(&bins)))
+            .unwrap();
+        assert_eq!(via_engine, direct, "{algorithm}");
+    }
+}
+
+#[test]
+fn plans_are_byte_identical_at_1_and_8_threads() {
+    let bins = Arc::new(BinSet::paper_example());
+    let single = run_batch(1, &bins);
+    let eight = run_batch(8, &bins);
+    assert_eq!(single.len(), eight.len());
+    for (i, (a, b)) in single.iter().zip(&eight).enumerate() {
+        assert_eq!(a, b, "request {i} diverged between 1 and 8 threads");
+        // Structural equality AND the rendered bytes, belt and braces.
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "request {i}");
+    }
+    // The plans are not merely equal to each other but actually feasible.
+    for (plan, request) in single.iter().zip(mixed_batch(&bins)) {
+        let audit = plan.validate(&request.workload, &bins).unwrap();
+        assert!(audit.feasible, "{} infeasible", plan.algorithm());
+    }
+}
+
+#[test]
+fn warm_cache_solve_is_identical_to_cold_solve() {
+    let bins = Arc::new(BinSet::paper_example());
+    let engine = Engine::new(config(4));
+    let request = EngineRequest::new(
+        Algorithm::OpqBased,
+        Workload::homogeneous(300, 0.95).unwrap(),
+        Arc::clone(&bins),
+    );
+
+    let cold = engine.solve(request.clone()).unwrap();
+    let after_cold = engine.cache_stats();
+    assert!(after_cold.misses >= 1);
+
+    let warm = engine.solve(request).unwrap();
+    let after_warm = engine.cache_stats();
+    assert_eq!(cold, warm);
+    assert_eq!(format!("{cold:?}"), format!("{warm:?}"));
+    assert!(
+        after_warm.hits > after_cold.hits,
+        "second solve must hit the cache: {after_warm:?}"
+    );
+}
+
+#[test]
+fn requests_sharing_a_fingerprint_share_cached_artifacts() {
+    let bins = Arc::new(BinSet::paper_example());
+    let engine = Engine::new(config(2));
+    // Same menu and threshold, different sizes: one artifact computation.
+    for n in [10u32, 100, 1_000, 40] {
+        engine
+            .solve(EngineRequest::new(
+                Algorithm::OpqBased,
+                Workload::homogeneous(n, 0.95).unwrap(),
+                Arc::clone(&bins),
+            ))
+            .unwrap();
+    }
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 1, "{stats:?}");
+    // 11 shard lookups in total: n = 10, 100, 40 are single shards, and
+    // n = 1000 splits into ⌈1000/128⌉ = 8 chunks under homogeneous_shard.
+    assert_eq!(stats.hits, 10, "{stats:?}");
+    assert_eq!(stats.entries, 1, "{stats:?}");
+}

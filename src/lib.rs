@@ -7,11 +7,14 @@
 //! * [`lp`] — the linear-programming substrate used by the baseline.
 //! * [`crowd`] — a crowdsourcing-marketplace simulator used to
 //!   calibrate task-bin parameters and execute decomposition plans.
+//! * [`engine`] — the concurrent, caching decomposition service layer
+//!   (worker pool, artifact cache, batched/sharded requests).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
 pub use slade_core as core;
 pub use slade_crowd as crowd;
+pub use slade_engine as engine;
 pub use slade_lp as lp;
 
 pub use slade_core::prelude;
