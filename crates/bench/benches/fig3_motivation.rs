@@ -21,5 +21,8 @@ fn main() {
         );
     }
     let plan = OpqBased::default().solve(&workload, &bins).unwrap();
-    println!("fig3 n={n} strategy=slade-mix cost={:.4}", plan.total_cost());
+    println!(
+        "fig3 n={n} strategy=slade-mix cost={:.4}",
+        plan.total_cost()
+    );
 }

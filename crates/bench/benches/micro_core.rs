@@ -1,9 +1,13 @@
 //! Micro-benchmarks of the hot paths in `slade-core`: the log-space
-//! reliability transform, OPQ enumeration, and the solvers on a mid-size
-//! homogeneous instance. This is the workspace's primary regression
-//! benchmark; the `fig*` targets mirror the paper's figures instead.
+//! reliability transform, OPQ enumeration, the solvers on a mid-size
+//! homogeneous instance, and the two-phase `prepare`/`solve_with` split.
+//! This is the workspace's primary regression benchmark; the `fig*` targets
+//! mirror the paper's figures instead. Results also land in
+//! `BENCH_core.json` (see `slade_bench::report`) so CI tracks the
+//! trajectory across PRs.
 
 use slade_bench::harness::{black_box, full_sweep, Harness};
+use slade_bench::report::{write_json, BenchRecord};
 use slade_bench::{instances, sweeps};
 use slade_core::opq::{CombinationKey, OpqConfig, OptimalPriorityQueue};
 use slade_core::prelude::*;
@@ -18,16 +22,21 @@ fn main() {
     let bins = instances::paper_bins();
     let n: u32 = if full_sweep() { 100_000 } else { 2_000 };
     let workload = instances::homogeneous(n, 0.95);
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut record = |name: &str, n: u32, result: &slade_bench::harness::BenchResult| {
+        records.push(BenchRecord::per_item(name, u64::from(n), result.median_ns));
+    };
 
-    harness.bench("reliability::weight x1000", || {
+    let r = harness.bench("reliability::weight x1000", || {
         let mut acc = 0.0;
         for i in 1..1_000 {
             acc += reliability::weight(black_box(f64::from(i) / 1_000.0));
         }
         black_box(acc);
     });
+    record("core/reliability-weight-x1000", 1_000, &r);
 
-    harness.bench("opq::enumerate_16(t=0.999)", || {
+    let r = harness.bench("opq::enumerate_16(t=0.999)", || {
         let mut opq = OptimalPriorityQueue::new(
             black_box(&bins),
             reliability::theta(0.999),
@@ -36,10 +45,28 @@ fn main() {
         );
         black_box(opq.take_feasible(16));
     });
+    record("core/opq-enumerate-16", 16, &r);
 
-    harness.bench(&format!("opq_based::solve(n={n})"), || {
+    let r = harness.bench(&format!("opq_based::solve(n={n})"), || {
         black_box(OpqBased::default().solve(black_box(&workload), &bins)).unwrap();
     });
+    record("core/opq-based-solve", n, &r);
+
+    // The two-phase split: what `prepare` pays once, and what a prepared
+    // `solve_with` still pays per workload.
+    let theta = workload.theta(0);
+    let solver = OpqBased::default();
+    let r = harness.bench("opq_based::prepare", || {
+        black_box(solver.prepare(black_box(&bins), theta)).unwrap();
+    });
+    // Prepare is workload-independent; its scale is the DP cap it fills,
+    // not the workload size (which differs between quick and full mode).
+    record("core/opq-based-prepare", solver.dp_cap, &r);
+    let artifacts = solver.prepare(&bins, theta).unwrap();
+    let r = harness.bench(&format!("opq_based::solve_with(n={n})"), || {
+        black_box(solver.solve_with(black_box(artifacts.as_ref()), &workload, &bins)).unwrap();
+    });
+    record("core/opq-based-solve-with", n, &r);
 
     // Pins the DESIGN.md seam-#1 rework: the lazy max-heap greedy runs the
     // full grid (the old full-re-sort loop was ~68 ms at n = 2 000; the heap
@@ -47,12 +74,27 @@ fn main() {
     // safety net for pathological menus).
     let greedy_n = n.min(sweeps::QUADRATIC_SOLVER_MAX_N);
     let greedy_workload = instances::homogeneous(greedy_n, 0.95);
-    harness.bench(&format!("greedy::solve(n={greedy_n})"), || {
+    let r = harness.bench(&format!("greedy::solve(n={greedy_n})"), || {
         black_box(Greedy.solve(black_box(&greedy_workload), &bins)).unwrap();
     });
+    record("core/greedy-solve", greedy_n, &r);
+
+    let greedy_artifacts = Greedy.prepare(&bins, theta).unwrap();
+    let r = harness.bench(&format!("greedy::solve_with(n={greedy_n})"), || {
+        black_box(Greedy.solve_with(
+            black_box(greedy_artifacts.as_ref()),
+            &greedy_workload,
+            &bins,
+        ))
+        .unwrap();
+    });
+    record("core/greedy-solve-with", greedy_n, &r);
 
     let plan = OpqBased::default().solve(&workload, &bins).unwrap();
-    harness.bench(&format!("plan::validate(n={n})"), || {
+    let r = harness.bench(&format!("plan::validate(n={n})"), || {
         black_box(plan.validate(black_box(&workload), &bins)).unwrap();
     });
+    record("core/plan-validate", n, &r);
+
+    write_json("BENCH_core.json", &records).expect("writing BENCH_core.json");
 }

@@ -40,14 +40,20 @@ fn main() {
         for algorithm in [Algorithm::OpqBased, Algorithm::Greedy, Algorithm::Baseline] {
             let cap = match algorithm {
                 Algorithm::Greedy => sweeps::QUADRATIC_SOLVER_MAX_N,
-                Algorithm::Baseline => sweeps::BASELINE_SOLVER_MAX_N, // seam #4
+                Algorithm::Baseline => sweeps::BASELINE_SOLVER_MAX_N, // seam #6
                 _ => u32::MAX,
             };
             if n > cap {
                 continue;
             }
             let plan = algorithm.solve(&workload, &bins).unwrap();
-            emit("fig6-scale", format!("n={n}"), algorithm, n, plan.total_cost());
+            emit(
+                "fig6-scale",
+                format!("n={n}"),
+                algorithm,
+                n,
+                plan.total_cost(),
+            );
         }
     }
 
@@ -56,7 +62,13 @@ fn main() {
         let workload = instances::homogeneous(scale, t);
         for algorithm in [Algorithm::OpqBased, Algorithm::Greedy, Algorithm::Baseline] {
             let plan = algorithm.solve(&workload, &bins).unwrap();
-            emit("fig6-threshold", format!("t={t}"), algorithm, scale, plan.total_cost());
+            emit(
+                "fig6-threshold",
+                format!("t={t}"),
+                algorithm,
+                scale,
+                plan.total_cost(),
+            );
         }
     }
 
@@ -66,7 +78,13 @@ fn main() {
         let menu = instances::synthetic_bins(m);
         for algorithm in [Algorithm::OpqBased, Algorithm::Greedy] {
             let plan = algorithm.solve(&workload, &menu).unwrap();
-            emit("fig6-cardinality", format!("|B|={m}"), algorithm, scale, plan.total_cost());
+            emit(
+                "fig6-cardinality",
+                format!("|B|={m}"),
+                algorithm,
+                scale,
+                plan.total_cost(),
+            );
         }
     }
 
@@ -79,7 +97,13 @@ fn main() {
             Algorithm::Baseline,
         ] {
             let plan = algorithm.solve(&workload, &bins).unwrap();
-            emit("fig7", format!("t={lo}..{hi}"), algorithm, scale, plan.total_cost());
+            emit(
+                "fig7",
+                format!("t={lo}..{hi}"),
+                algorithm,
+                scale,
+                plan.total_cost(),
+            );
         }
     }
 }

@@ -116,6 +116,120 @@ pub mod harness {
     }
 }
 
+pub mod report {
+    //! Machine-readable benchmark trajectories.
+    //!
+    //! The bench targets print human-oriented lines; CI additionally wants a
+    //! stable format it can upload per PR so the repo's performance
+    //! trajectory is comparable across commits. [`BenchRecord`] is that
+    //! format — `(name, n, median ns, throughput)` plus an optional measured
+    //! speedup — and [`write_json`] lands it in `BENCH_engine.json` /
+    //! `BENCH_core.json` at the workspace root (hand-rolled JSON: the
+    //! offline workspace has no serde).
+
+    use std::io::{self, Write};
+
+    /// One benchmark measurement in the cross-PR trajectory.
+    ///
+    /// `median_ns` is the median wall-clock of **one unit of the case** —
+    /// what a unit is depends on the target and is part of the case's
+    /// stable name: one solve for `core/*-solve`, one request for
+    /// `engine/*`, one full inner loop for aggregate cases like
+    /// `core/reliability-weight-x1000`. `n` records the case's problem
+    /// scale (tasks, requests, or items per unit) so consumers can
+    /// normalize; only same-named cases are comparable across PRs.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct BenchRecord {
+        /// Stable case label, e.g. `engine/greedy/warm`.
+        pub name: String,
+        /// Problem scale of the case (tasks, requests, or items per unit).
+        pub n: u64,
+        /// Median wall-clock per unit of the case, in nanoseconds.
+        pub median_ns: f64,
+        /// Units per second (`1e9 / median_ns` unless measured directly).
+        pub throughput: f64,
+        /// A measured ratio against a paired baseline (e.g. warm-vs-cold);
+        /// serialized only when present.
+        pub speedup: Option<f64>,
+    }
+
+    impl BenchRecord {
+        /// A record with the throughput derived from its median.
+        pub fn per_item(name: impl Into<String>, n: u64, median_ns: f64) -> Self {
+            BenchRecord {
+                name: name.into(),
+                n,
+                median_ns,
+                throughput: if median_ns > 0.0 {
+                    1e9 / median_ns
+                } else {
+                    0.0
+                },
+                speedup: None,
+            }
+        }
+
+        /// Attaches a measured speedup ratio.
+        #[must_use]
+        pub fn with_speedup(mut self, speedup: f64) -> Self {
+            self.speedup = Some(speedup);
+            self
+        }
+    }
+
+    /// Renders records as a JSON array (stable key order, one object per
+    /// line — diff-friendly for trajectory comparison).
+    pub fn to_json(records: &[BenchRecord]) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in records.iter().enumerate() {
+            let name: String = r
+                .name
+                .chars()
+                .flat_map(|c| match c {
+                    '"' | '\\' => vec!['\\', c],
+                    c if (c as u32) < 0x20 => "?".chars().collect(),
+                    c => vec![c],
+                })
+                .collect();
+            out.push_str(&format!(
+                "  {{\"name\": \"{name}\", \"n\": {}, \"median_ns\": {:.1}, \
+                 \"throughput\": {:.3}",
+                r.n, r.median_ns, r.throughput
+            ));
+            if let Some(speedup) = r.speedup {
+                out.push_str(&format!(", \"speedup\": {speedup:.3}"));
+            }
+            out.push('}');
+            if i + 1 < records.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out.push('\n');
+        out
+    }
+
+    /// Writes records to `path` and notes the location on stdout. Relative
+    /// paths are resolved against the *workspace* root (cargo runs bench
+    /// binaries with the package directory as CWD, but CI collects the
+    /// trajectory files from the checkout root).
+    pub fn write_json(path: &str, records: &[BenchRecord]) -> io::Result<()> {
+        let resolved = if std::path::Path::new(path).is_absolute() {
+            std::path::PathBuf::from(path)
+        } else {
+            // crates/bench/../.. == the workspace root of this checkout.
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(path)
+        };
+        let mut file = std::fs::File::create(&resolved)?;
+        file.write_all(to_json(records).as_bytes())?;
+        println!("wrote {} records to {}", records.len(), resolved.display());
+        Ok(())
+    }
+}
+
 pub mod sweeps {
     //! Shared sweep grids, so the `fig*` bench targets and the `figures`
     //! binary print the same experiment points and cannot drift apart.
@@ -164,7 +278,7 @@ pub mod sweeps {
 
     /// Largest `n` the column-heavy CIP baseline is swept at: its column
     /// generation materializes `O(n·m)` sparse columns per solve, which is
-    /// still minutes beyond this size (DESIGN.md scaling seam #4).
+    /// still minutes beyond this size (DESIGN.md scaling seam #6).
     pub const BASELINE_SOLVER_MAX_N: u32 = 10_000;
 }
 
@@ -263,5 +377,28 @@ mod tests {
         let a = instances::heterogeneous(20, 0.2, 0.9, 5);
         let b = instances::heterogeneous(20, 0.2, 0.9, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bench_records_serialize_to_stable_json() {
+        use super::report::{to_json, BenchRecord};
+        let records = vec![
+            BenchRecord::per_item("engine/opq-based/cold", 48, 2_000.0),
+            BenchRecord::per_item("engine/\"odd\"/warm", 48, 250.0).with_speedup(8.0),
+        ];
+        let json = to_json(&records);
+        assert!(
+            json.contains("\"name\": \"engine/opq-based/cold\""),
+            "{json}"
+        );
+        assert!(json.contains("\"median_ns\": 2000.0"), "{json}");
+        assert!(json.contains("\"throughput\": 500000.000"), "{json}");
+        assert!(json.contains("\"speedup\": 8.000"), "{json}");
+        assert!(json.contains("\\\"odd\\\""), "quotes escaped: {json}");
+        // Exactly one speedup key: the first record omits it.
+        assert_eq!(json.matches("speedup").count(), 1);
+        // Well-formed enough for the repo's own JSON parser shape: starts
+        // and ends as a bracketed array.
+        assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
     }
 }

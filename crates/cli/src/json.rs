@@ -73,11 +73,18 @@ impl Json {
     }
 }
 
+/// Maximum container nesting depth. The parser recurses per level, so an
+/// unbounded `[[[[…` would overflow the thread stack; 128 levels is far
+/// beyond any legitimate batch request while keeping recursion trivially
+/// safe.
+const MAX_DEPTH: usize = 128;
+
 /// Parses one complete JSON document; trailing non-whitespace is an error.
 pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -91,6 +98,8 @@ pub fn parse(text: &str) -> Result<Json, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -109,26 +118,34 @@ impl Parser<'_> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected `{}` at byte {}",
-                byte as char, self.pos
-            ))
+            Err(format!("expected `{}` at byte {}", byte as char, self.pos))
         }
+    }
+
+    /// Runs one container parser a level deeper, enforcing [`MAX_DEPTH`].
+    fn nested(&mut self, inner: fn(&mut Self) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let result = inner(self);
+        self.depth -= 1;
+        result
     }
 
     fn value(&mut self) -> Result<Json, String> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(Json::String(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'n') => self.literal("null", Json::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            Some(c) => Err(format!(
-                "unexpected `{}` at byte {}",
-                c as char, self.pos
-            )),
+            Some(c) => Err(format!("unexpected `{}` at byte {}", c as char, self.pos)),
             None => Err("unexpected end of input".into()),
         }
     }
@@ -252,8 +269,8 @@ impl Parser<'_> {
             .get(self.pos..self.pos + 4)
             .ok_or_else(|| "truncated \\u escape".to_string())?;
         let hex = std::str::from_utf8(hex).map_err(|_| "non-ASCII \\u escape".to_string())?;
-        let code = u32::from_str_radix(hex, 16)
-            .map_err(|_| format!("invalid \\u escape `{hex}`"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| format!("invalid \\u escape `{hex}`"))?;
         self.pos += 4;
         // Surrogate pairs are not supported — the batch request schema is
         // ASCII identifiers and numbers; reject rather than mis-decode.
@@ -284,9 +301,16 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
-        text.parse::<f64>()
-            .map(Json::Number)
-            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+        let number = text
+            .parse::<f64>()
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))?;
+        // `"1e999".parse::<f64>()` happily returns infinity; no batch field
+        // means anything at that magnitude, so reject instead of letting an
+        // overflow masquerade as a valid value downstream.
+        if !number.is_finite() {
+            return Err(format!("number `{text}` overflows f64 at byte {start}"));
+        }
+        Ok(Json::Number(number))
     }
 }
 
@@ -342,8 +366,16 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,", r#"{"a" 1}"#, "tru", "1 2", r#"{"a": }"#, "\"unterminated",
-            r#""\q""#, "nul",
+            "",
+            "{",
+            "[1,",
+            r#"{"a" 1}"#,
+            "tru",
+            "1 2",
+            r#"{"a": }"#,
+            "\"unterminated",
+            r#""\q""#,
+            "nul",
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
@@ -355,6 +387,57 @@ mod tests {
         assert!(err.contains("`tasks`"), "{err}");
         // Same key at different nesting levels is fine.
         assert!(parse(r#"{"a": {"a": 1}}"#).is_ok());
+    }
+
+    #[test]
+    fn overflowing_exponents_are_rejected_not_infinities() {
+        for bad in ["1e999", "-1e999", "1e309", "123456789e4000"] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("overflows"), "{bad}: {err}");
+        }
+        // The largest finite magnitudes still parse.
+        assert_eq!(parse("1e308").unwrap(), Json::Number(1e308));
+        assert_eq!(
+            parse("-1.7976931348623157e308").unwrap(),
+            Json::Number(f64::MIN)
+        );
+        // Underflow to zero is a finite value, not an error.
+        assert_eq!(parse("1e-999").unwrap(), Json::Number(0.0));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_before_the_stack_gives_out() {
+        // 128 levels are fine; 129 are not — and 100k must error, not crash.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        for levels in [MAX_DEPTH + 1, 100_000] {
+            let too_deep = format!("{}0{}", "[".repeat(levels), "]".repeat(levels));
+            let err = parse(&too_deep).unwrap_err();
+            assert!(err.contains("nesting deeper"), "{levels}: {err}");
+        }
+        // Mixed object/array nesting counts against the same budget.
+        let mixed = format!("{}0{}", r#"{"a":["#.repeat(70), "]}".repeat(70));
+        assert!(parse(&mixed).unwrap_err().contains("nesting deeper"));
+    }
+
+    #[test]
+    fn lone_surrogates_in_strings_are_rejected() {
+        for bad in [r#""\ud800""#, r#""\udfff""#, r#""a\ud834b""#] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("surrogate"), "{bad}: {err}");
+        }
+        // Non-surrogate BMP escapes still decode.
+        assert_eq!(parse(r#""é""#).unwrap(), Json::String("é".into()));
+    }
+
+    #[test]
+    fn duplicate_keys_across_nesting_levels_are_distinct() {
+        // The same key may recur at different depths and in sibling objects;
+        // only true duplicates within one object are rejected.
+        assert!(parse(r#"{"a": {"a": {"a": 1}}, "b": {"a": 2}}"#).is_ok());
+        assert!(parse(r#"[{"a": 1}, {"a": 2}]"#).is_ok());
+        let err = parse(r#"{"a": {"b": 1, "b": 2}}"#).unwrap_err();
+        assert!(err.contains("`b`"), "{err}");
     }
 
     #[test]

@@ -48,6 +48,8 @@ OPTIONS (batch):
     --threads N             Worker threads [default: available parallelism]
     --cache N               Artifact-cache capacity in entries, 0 disables
                             [default: 64]
+    --reuse                 Append a final JSON line with artifact-reuse
+                            statistics (cache hits/misses/entries)
 
 Each batch request is one JSON object per line; all fields optional:
     {\"algorithm\": \"opq-extended\", \"tasks\": 1000, \"threshold\": 0.95,
@@ -157,7 +159,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
 /// become `{"request":i,"error":"..."}` lines rather than aborting the
 /// stream.
 fn run_batch(args: &[String], input: &str) -> Result<String, CliError> {
-    let (threads, cache) = parse_batch_options(args)?;
+    let (threads, cache, reuse) = parse_batch_options(args)?;
     let default_bins = Arc::new(BinSet::paper_example());
 
     let mut requests: Vec<EngineRequest> = Vec::new();
@@ -204,13 +206,31 @@ fn run_batch(args: &[String], input: &str) -> Result<String, CliError> {
             }
         }
     }
+    if reuse {
+        // How much instance-independent work the two-phase pipeline shared
+        // across the stream: every hit is one prepare step skipped.
+        let stats = engine.cache_stats();
+        if !requests.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{{\"reuse\":{{\"cache_hits\":{},\"cache_misses\":{},\
+             \"cache_entries\":{},\"cache_capacity\":{},\"requests\":{}}}}}",
+            stats.hits,
+            stats.misses,
+            stats.entries,
+            stats.capacity,
+            requests.len(),
+        ));
+    }
     Ok(out)
 }
 
-fn parse_batch_options(args: &[String]) -> Result<(usize, usize), CliError> {
+fn parse_batch_options(args: &[String]) -> Result<(usize, usize, bool), CliError> {
     let defaults = EngineConfig::default();
     let mut threads = defaults.threads;
     let mut cache = defaults.cache_capacity;
+    let mut reuse = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -228,6 +248,9 @@ fn parse_batch_options(args: &[String]) -> Result<(usize, usize), CliError> {
             "--cache" => {
                 cache = parse_num(&value("--cache")?, "--cache")?;
             }
+            "--reuse" => {
+                reuse = true;
+            }
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown flag `{other}` for `batch`"
@@ -235,7 +258,7 @@ fn parse_batch_options(args: &[String]) -> Result<(usize, usize), CliError> {
             }
         }
     }
-    Ok((threads, cache))
+    Ok((threads, cache, reuse))
 }
 
 /// Parses one JSONL request. `line_no` is 1-based and names the offending
@@ -605,7 +628,10 @@ mod tests {
         let out = run_batch(&argv("--threads 3 --cache 8"), input).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert!(lines[0].contains("\"request\":0") && lines[0].contains("greedy"), "{out}");
+        assert!(
+            lines[0].contains("\"request\":0") && lines[0].contains("greedy"),
+            "{out}"
+        );
         assert!(lines[1].contains("\"request\":1") && lines[1].contains("opq-extended"));
         assert!(lines[2].contains("\"request\":2") && lines[2].contains("\"tasks\":50"));
         for line in &lines {
@@ -668,10 +694,76 @@ mod tests {
         let CliError::Usage(msg) = conflict else {
             panic!("expected usage error")
         };
-        assert!(msg.contains("conflicts") && msg.contains("`tasks`"), "{msg}");
+        assert!(
+            msg.contains("conflicts") && msg.contains("`tasks`"),
+            "{msg}"
+        );
 
         let not_object = run_batch(&argv(""), "[1, 2]").unwrap_err();
         assert!(matches!(not_object, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn batch_parser_edge_cases_carry_precise_line_numbers() {
+        // Overflowing exponent on line 3 of a stream.
+        let overflow = "{}\n{\"tasks\": 2}\n{\"threshold\": 1e999}\n";
+        let CliError::Usage(msg) = run_batch(&argv(""), overflow).unwrap_err() else {
+            panic!("expected usage error");
+        };
+        assert!(msg.contains("line 3") && msg.contains("overflows"), "{msg}");
+
+        // Pathologically nested bins payload on line 2: a depth error, not
+        // a stack overflow.
+        let deep = format!(
+            "{{}}\n{{\"bins\": {}1{}}}\n",
+            "[".repeat(5_000),
+            "]".repeat(5_000)
+        );
+        let CliError::Usage(msg) = run_batch(&argv(""), &deep).unwrap_err() else {
+            panic!("expected usage error");
+        };
+        assert!(
+            msg.contains("line 2") && msg.contains("nesting deeper"),
+            "{msg}"
+        );
+
+        // Lone surrogate in a string on line 1.
+        let surrogate = "{\"algorithm\": \"\\ud800\"}\n";
+        let CliError::Usage(msg) = run_batch(&argv(""), surrogate).unwrap_err() else {
+            panic!("expected usage error");
+        };
+        assert!(msg.contains("line 1") && msg.contains("surrogate"), "{msg}");
+
+        // Duplicate key at top level on line 2; blank lines do not advance
+        // the reported number past the physical line.
+        let duplicate = "\n{\"seed\": 1, \"seed\": 2}\n";
+        let CliError::Usage(msg) = run_batch(&argv(""), duplicate).unwrap_err() else {
+            panic!("expected usage error");
+        };
+        assert!(msg.contains("line 2") && msg.contains("duplicate"), "{msg}");
+    }
+
+    #[test]
+    fn batch_reuse_flag_appends_cache_statistics() {
+        // Three requests sharing one (BinSet, θ) fingerprint: one miss, the
+        // rest hits, all visible in the trailing stats line. One thread, so
+        // the stats are deterministic (two workers racing the same cold
+        // fingerprint may legitimately both record a miss).
+        let input = "{\"tasks\": 10}\n{\"tasks\": 40}\n{\"tasks\": 25}\n";
+        let out = run_batch(&argv("--threads 1 --reuse"), input).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        let stats = lines[3];
+        assert!(stats.contains("\"reuse\""), "{stats}");
+        assert!(stats.contains("\"cache_misses\":1"), "{stats}");
+        assert!(stats.contains("\"cache_hits\":2"), "{stats}");
+        assert!(stats.contains("\"requests\":3"), "{stats}");
+        // Without the flag the stream is unchanged.
+        let plain = run_batch(&argv("--threads 2"), input).unwrap();
+        assert_eq!(plain.lines().count(), 3);
+        // An empty stream still reports (empty) stats.
+        let empty = run_batch(&argv("--reuse"), "").unwrap();
+        assert!(empty.starts_with("{\"reuse\""), "{empty}");
     }
 
     #[test]
@@ -695,10 +787,7 @@ mod tests {
     #[test]
     fn solver_failures_use_the_solve_error_path() {
         // OPQ-Based rejects heterogeneous workloads.
-        let err = run(&argv(
-            "solve --algorithm opq-based --thresholds 0.5,0.9",
-        ))
-        .unwrap_err();
+        let err = run(&argv("solve --algorithm opq-based --thresholds 0.5,0.9")).unwrap_err();
         assert!(matches!(err, CliError::Solve(_)));
     }
 }

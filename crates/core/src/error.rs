@@ -36,6 +36,15 @@ pub enum SladeError {
         /// The workload's maximum threshold.
         t_max: f64,
     },
+    /// `solve_with` received artifacts that were not produced by this
+    /// solver's `prepare` (wrong concrete type, or prepared for a different
+    /// transformed threshold than the workload demands).
+    ArtifactMismatch {
+        /// Name of the rejecting solver.
+        solver: &'static str,
+        /// What was expected versus what arrived.
+        detail: String,
+    },
     /// The baseline's covering-program substrate reported an error.
     Covering(String),
     /// A plan references data inconsistent with the instance (unknown bin
@@ -70,6 +79,12 @@ impl fmt::Display for SladeError {
                 "relaxed solver precondition violated: bin of cardinality {cardinality} \
                  has confidence {confidence} < maximum threshold {t_max}"
             ),
+            SladeError::ArtifactMismatch { solver, detail } => {
+                write!(
+                    f,
+                    "solver `{solver}` received mismatched artifacts: {detail}"
+                )
+            }
             SladeError::Covering(msg) => write!(f, "baseline covering program: {msg}"),
             SladeError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
         }

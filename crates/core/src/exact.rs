@@ -190,6 +190,10 @@ impl DecompositionSolver for ExactSolver {
     }
 }
 
+// Branch-and-bound state is dominated by the workload's residual vector, so
+// the two-phase pipeline is the trait's trivial pass-through.
+impl crate::solver::PreparedSolver for ExactSolver {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,7 +216,11 @@ mod tests {
         let bins = BinSet::paper_example();
         let w = Workload::homogeneous(4, 0.95).unwrap();
         let plan = ExactSolver::default().solve(&w, &bins).unwrap();
-        assert!((plan.total_cost() - 0.66).abs() < 1e-9, "{}", plan.total_cost());
+        assert!(
+            (plan.total_cost() - 0.66).abs() < 1e-9,
+            "{}",
+            plan.total_cost()
+        );
         assert!(plan.validate(&w, &bins).unwrap().feasible);
     }
 
@@ -239,7 +247,11 @@ mod tests {
         // Optimum 0.28: task 1 (t = 0.95) takes b2 + b1, and task 0
         // (t = 0.5) rides in the b2's spare slot for free. The no-sharing
         // alternative (2×b1 for task 1, b1 for task 0) costs 0.30.
-        assert!((plan.total_cost() - 0.28).abs() < 1e-9, "{}", plan.total_cost());
+        assert!(
+            (plan.total_cost() - 0.28).abs() < 1e-9,
+            "{}",
+            plan.total_cost()
+        );
     }
 
     #[test]

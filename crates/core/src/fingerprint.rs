@@ -1,14 +1,25 @@
 //! Stable instance fingerprinting.
 //!
-//! `slade-engine` memoizes OPQ pools and group-DP tables across requests, so
-//! it needs a canonical, cheap, content-based key for "the same instance
-//! shape": the bin menu and the transformed threshold (plus the solver knobs
-//! that shape the artifacts). [`Fnv1a`] is the tiny hasher behind
+//! `slade-engine` memoizes solve artifacts across requests, so it needs a
+//! canonical, cheap, content-based key for "the same prepare computation":
+//! the bin menu, the transformed threshold, and the solver knobs that shape
+//! the artifacts. [`Fnv1a`] is the tiny hasher behind
 //! [`BinSet::signature`](crate::bin_set::BinSet::signature) and
 //! [`Workload::signature`](crate::task::Workload::signature); floats are
 //! hashed by bit pattern, so two instances fingerprint equal iff their
 //! parameters are bitwise equal — exactly the granularity at which solver
 //! output is reproducible.
+//!
+//! [`Fingerprint`] lives here, next to the signatures it hashes, rather than
+//! in the engine: its knob material comes from
+//! [`PreparedSolver::fingerprint_knobs`], the same trait whose
+//! [`prepare`](PreparedSolver::prepare) builds the artifacts — so the key
+//! can never drift from the artifact definition.
+
+use crate::bin_set::BinSet;
+use crate::solver::PreparedSolver;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A 64-bit FNV-1a accumulator.
 ///
@@ -53,6 +64,127 @@ impl Fnv1a {
 impl Default for Fnv1a {
     fn default() -> Self {
         Fnv1a::new()
+    }
+}
+
+/// Collects the solver-knob words that enter a [`Fingerprint`].
+///
+/// Each solver's [`PreparedSolver::fingerprint_knobs`] writes every
+/// configuration value that shapes its *artifacts* (and nothing that only
+/// shapes the per-workload solve step, such as the baseline's rounding
+/// seed). The sink keeps the raw words so the fingerprint can compare full
+/// key material on digest collisions, not just the hash.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct KnobSink {
+    words: Vec<u64>,
+}
+
+impl KnobSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        KnobSink::default()
+    }
+
+    /// Records one `u64` knob.
+    pub fn write_u64(&mut self, value: u64) {
+        self.words.push(value);
+    }
+
+    /// Records one `usize` knob.
+    pub fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+
+    /// Records one `f64` knob by bit pattern.
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// Records an optional size, with `None` mapped to `u64::MAX` (no valid
+    /// size reaches it, so the encoding stays injective).
+    pub fn write_opt_usize(&mut self, value: Option<usize>) {
+        self.write_u64(value.map_or(u64::MAX, |s| s as u64));
+    }
+
+    /// The words recorded so far, in write order.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// The canonical identity of one artifact computation: the bin-menu
+/// signature, the transformed threshold (bit pattern), and every solver knob
+/// that shapes the artifacts, as reported by the solver itself through
+/// [`PreparedSolver::fingerprint_knobs`].
+///
+/// FNV-1a is not collision-resistant, so the digest alone is never trusted
+/// as an identity: the digest is only the *hash* of a cache key, while
+/// `Fingerprint`'s `Eq` is decided over the full key material (the engine's
+/// cache stores the material in each entry and verifies it on every hit, so
+/// a collision costs one spurious probe, never a wrong artifact). Two equal
+/// fingerprints are served by identical artifacts — `prepare` is
+/// deterministic — which is the invariant that makes cache hits
+/// indistinguishable from cold solves.
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    digest: u64,
+    // The full key material, kept for exact equality on hash collisions.
+    bins: Arc<BinSet>,
+    theta_bits: u64,
+    knobs: KnobSink,
+}
+
+impl Fingerprint {
+    /// Fingerprints `solver`'s artifact computation for `bins` at
+    /// transformed threshold `theta`.
+    pub fn new(bins: Arc<BinSet>, theta: f64, solver: &dyn PreparedSolver) -> Self {
+        let mut knobs = KnobSink::new();
+        solver.fingerprint_knobs(&mut knobs);
+        let mut h = Fnv1a::new();
+        h.write_u64(bins.signature());
+        h.write_f64(theta);
+        for &word in knobs.words() {
+            h.write_u64(word);
+        }
+        Fingerprint {
+            digest: h.finish(),
+            bins,
+            theta_bits: theta.to_bits(),
+            knobs,
+        }
+    }
+
+    /// The raw 64-bit digest.
+    pub fn as_u64(&self) -> u64 {
+        self.digest
+    }
+
+    /// Whether `other` carries the same full key material — the bin menu is
+    /// compared by content, not by digest, so a digest collision between
+    /// distinct instances can never alias their cache entries.
+    fn matches(&self, other: &Self) -> bool {
+        self.digest == other.digest
+            && self.theta_bits == other.theta_bits
+            && self.knobs == other.knobs
+            && *self.bins == *other.bins
+    }
+
+    #[cfg(test)]
+    pub(crate) fn forge_digest(&mut self, digest: u64) {
+        self.digest = digest;
+    }
+}
+
+impl PartialEq for Fingerprint {
+    fn eq(&self, other: &Self) -> bool {
+        self.matches(other)
+    }
+}
+impl Eq for Fingerprint {}
+
+impl Hash for Fingerprint {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.digest);
     }
 }
 
@@ -101,5 +233,80 @@ mod tests {
         let mut c = Fnv1a::new();
         c.write_f64(0.95 + 1e-12);
         assert_ne!(a.finish(), c.finish());
+    }
+
+    mod fingerprint {
+        use super::super::*;
+        use crate::opq_based::OpqBased;
+        use crate::reliability::theta;
+        use crate::solver::Algorithm;
+
+        #[test]
+        fn equal_inputs_fingerprint_equal() {
+            let bins = Arc::new(BinSet::paper_example());
+            let same_bins = Arc::new(BinSet::paper_example()); // distinct Arc
+            let solver = OpqBased::default();
+            let a = Fingerprint::new(bins, theta(0.95), &solver);
+            let b = Fingerprint::new(same_bins, theta(0.95), &solver);
+            assert_eq!(a, b);
+            assert_eq!(a.as_u64(), b.as_u64());
+        }
+
+        #[test]
+        fn every_component_discriminates() {
+            let bins = Arc::new(BinSet::paper_example());
+            let solver = OpqBased::default();
+            let base = Fingerprint::new(Arc::clone(&bins), theta(0.95), &solver);
+
+            assert_ne!(
+                base,
+                Fingerprint::new(Arc::clone(&bins), theta(0.9501), &solver)
+            );
+
+            let other_bins = Arc::new(bins.truncated(2).unwrap());
+            assert_ne!(base, Fingerprint::new(other_bins, theta(0.95), &solver));
+
+            let other_solver = OpqBased {
+                pool_size: solver.pool_size + 1,
+                ..OpqBased::default()
+            };
+            assert_ne!(
+                base,
+                Fingerprint::new(Arc::clone(&bins), theta(0.95), &other_solver)
+            );
+
+            let other_cap = OpqBased {
+                dp_cap: 128,
+                ..OpqBased::default()
+            };
+            assert_ne!(base, Fingerprint::new(bins, theta(0.95), &other_cap));
+        }
+
+        #[test]
+        fn digest_collisions_do_not_compare_equal() {
+            // Forge two fingerprints with the same digest but different key
+            // material: equality must still distinguish them (the engine's
+            // cache relies on this to survive FNV collisions).
+            let bins = Arc::new(BinSet::paper_example());
+            let solver = OpqBased::default();
+            let a = Fingerprint::new(Arc::clone(&bins), theta(0.95), &solver);
+            let mut b = Fingerprint::new(bins, theta(0.90), &solver);
+            b.forge_digest(a.as_u64());
+            assert_eq!(a.as_u64(), b.as_u64());
+            assert_ne!(a, b);
+        }
+
+        #[test]
+        fn knob_words_come_from_the_solver_trait() {
+            // Every algorithm can fingerprint itself; solvers with the same
+            // artifact-shaping knobs (and only those) fingerprint equal.
+            let bins = Arc::new(BinSet::paper_example());
+            for algorithm in Algorithm::ALL {
+                let solver = algorithm.solver();
+                let a = Fingerprint::new(Arc::clone(&bins), theta(0.9), solver.as_ref());
+                let b = Fingerprint::new(Arc::clone(&bins), theta(0.9), solver.as_ref());
+                assert_eq!(a, b, "{algorithm}");
+            }
+        }
     }
 }

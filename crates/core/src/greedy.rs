@@ -35,15 +35,100 @@ use crate::bin_set::BinSet;
 use crate::error::SladeError;
 use crate::plan::DecompositionPlan;
 use crate::reliability::{satisfies, WEIGHT_EPS};
-use crate::solver::DecompositionSolver;
+use crate::solver::{expect_artifacts, DecompositionSolver, PreparedSolver, SolveArtifacts};
 use crate::task::{TaskId, Workload};
+use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// The Algorithm-1 greedy heuristic. Stateless; the unit struct is its own
 /// default configuration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Greedy;
+
+/// Upper bound on precomputed ladder rungs; extreme `θ / min-weight` ratios
+/// stop early (deeper levels just fall back to the per-round scan).
+const LADDER_CAP: usize = 4_096;
+
+/// The greedy's reusable artifacts for one `(BinSet, θ)`: the transformed
+/// threshold plus the *uniform-level ladder* — for every residual level `r`
+/// reachable from `θ` by repeatedly applying the most cost-effective bin,
+/// the precomputed winner of the per-round bin scan when at least
+/// `max_cardinality` open tasks all sit at residual `r`.
+///
+/// In a homogeneous solve every interior round (all popped tasks at the same
+/// residual, enough tasks open) is exactly that situation, so
+/// [`Greedy::solve_with`] answers it from the ladder instead of rescanning
+/// the menu — and seeds the residual vector from the cached `θ` instead of
+/// recomputing `-ln(1-t)` per task. Rounds that mix residual levels (bucket
+/// boundaries, the endgame, heterogeneous workloads) take the ordinary scan,
+/// so plans stay bit-for-bit identical to [`Greedy::solve`]: the ladder is
+/// consulted only when its precondition — identical inputs to the scan —
+/// holds by bit comparison.
+#[derive(Debug, Clone)]
+pub struct GreedyArtifacts {
+    theta: f64,
+    /// Signature of the bin menu the ladder's bin indices refer to;
+    /// `solve_with` rejects a different menu.
+    bins_signature: u64,
+    /// `(residual bit pattern, winning bin index)` per uniform level, in
+    /// descent order from `θ`.
+    ladder: Vec<(u64, usize)>,
+}
+
+impl GreedyArtifacts {
+    /// The precomputed scan winner for a uniform top at `residual_bits`.
+    ///
+    /// The ladder descends strictly (each rung subtracts a positive bin
+    /// weight from a positive residual), and positive `f64` bit patterns
+    /// order like the values, so this is a binary search over the
+    /// descending `bits` — `O(log rungs)` per round even for deep ladders.
+    fn lookup(&self, residual_bits: u64) -> Option<usize> {
+        self.ladder
+            .binary_search_by(|&(bits, _)| residual_bits.cmp(&bits))
+            .ok()
+            .map(|i| self.ladder[i].1)
+    }
+
+    /// Number of precomputed uniform levels (test hook).
+    pub fn rungs(&self) -> usize {
+        self.ladder.len()
+    }
+}
+
+impl SolveArtifacts for GreedyArtifacts {
+    fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// The per-round bin election: the bin minimizing `c / Σ_{j<min(l,count)}
+/// min(w, residual(j))`, ties to the earlier menu index; `None` when no bin
+/// is effective. This is the ONE copy of the scan — both the in-solve round
+/// (per-entry residuals) and the ladder precompute (uniform residual) call
+/// it, so the float operations are identical by construction and the
+/// ladder's precomputed winner is bit-for-bit the winner a live scan would
+/// elect.
+fn scan_bins(bins: &BinSet, count: usize, residual: impl Fn(usize) -> f64) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, b) in bins.bins().iter().enumerate() {
+        let take = (b.cardinality() as usize).min(count);
+        let useful: f64 = (0..take).map(|j| b.weight().min(residual(j))).sum();
+        if useful <= WEIGHT_EPS {
+            continue;
+        }
+        let ratio = b.cost() / useful;
+        if best.map_or(true, |(_, r)| ratio < r) {
+            best = Some((i, ratio));
+        }
+    }
+    best.map(|(i, _)| i)
+}
 
 /// One heap entry: a task at the residual it had when pushed. `version`
 /// invalidates superseded entries (lazy deletion): an entry is live iff its
@@ -78,15 +163,29 @@ impl PartialOrd for Entry {
     }
 }
 
-impl DecompositionSolver for Greedy {
-    fn name(&self) -> &'static str {
-        "Greedy"
-    }
-
-    fn solve(&self, workload: &Workload, bins: &BinSet) -> Result<DecompositionPlan, SladeError> {
+impl Greedy {
+    /// The shared greedy loop behind [`Greedy::solve`] (no artifacts) and
+    /// [`Greedy::solve_with`] (ladder-seeded). The ladder only short-circuits
+    /// rounds whose scan inputs provably (by bit comparison) match the
+    /// precomputed uniform level, so both paths emit identical plans.
+    fn run(
+        &self,
+        workload: &Workload,
+        bins: &BinSet,
+        artifacts: Option<&GreedyArtifacts>,
+    ) -> DecompositionPlan {
         let n = workload.len();
-        // Residual transformed demand per task.
-        let mut residual: Vec<f64> = workload.thetas().collect();
+        // Residual transformed demand per task, seeded from the cached θ
+        // when it bit-matches the workload's (same value, n - 1 fewer logs).
+        let mut residual: Vec<f64> = match artifacts {
+            Some(arts)
+                if workload.is_homogeneous()
+                    && workload.theta(0).to_bits() == arts.theta.to_bits() =>
+            {
+                vec![arts.theta; n as usize]
+            }
+            _ => workload.thetas().collect(),
+        };
         // Current entry version per task; heap entries with an older version
         // are stale and dropped when popped.
         let mut version: Vec<u32> = vec![0; n as usize];
@@ -113,26 +212,28 @@ impl DecompositionSolver for Greedy {
                 top.push(entry);
             }
 
+            // Interior fast path: a full top whose residuals are all
+            // bit-equal is exactly the situation the ladder precomputed —
+            // the scan's winner is already known.
+            let precomputed = artifacts.and_then(|arts| {
+                if top.len() == max_card {
+                    let bits = top[0].residual.to_bits();
+                    if top.iter().all(|e| e.residual.to_bits() == bits) {
+                        return arts.lookup(bits);
+                    }
+                }
+                None
+            });
+
             // Pick the most cost-effective bin type for the current top
             // residuals.
-            let mut best: Option<(usize, f64)> = None;
-            for (i, b) in bins.bins().iter().enumerate() {
-                let take = (b.cardinality() as usize).min(top.len());
-                let useful: f64 = top[..take]
-                    .iter()
-                    .map(|e| b.weight().min(e.residual))
-                    .sum();
-                if useful <= WEIGHT_EPS {
-                    continue;
-                }
-                let ratio = b.cost() / useful;
-                if best.map_or(true, |(_, r)| ratio < r) {
-                    best = Some((i, ratio));
-                }
-            }
-            // Residuals of open tasks are strictly positive and weights are
-            // strictly positive, so some bin is always effective.
-            let (i, _) = best.expect("positive residuals admit an effective bin");
+            let i = match precomputed {
+                Some(i) => i,
+                // Residuals of open tasks are strictly positive and weights
+                // are strictly positive, so some bin is always effective.
+                None => scan_bins(bins, top.len(), |j| top[j].residual)
+                    .expect("positive residuals admit an effective bin"),
+            };
             let bin = &bins.bins()[i];
             let take = (bin.cardinality() as usize).min(top.len());
             let members: Vec<TaskId> = top[..take].iter().map(|e| e.task).collect();
@@ -157,8 +258,65 @@ impl DecompositionSolver for Greedy {
             plan.push(bin, members);
         }
 
-        Ok(plan)
+        plan
     }
+}
+
+impl DecompositionSolver for Greedy {
+    fn name(&self) -> &'static str {
+        "Greedy"
+    }
+
+    fn solve(&self, workload: &Workload, bins: &BinSet) -> Result<DecompositionPlan, SladeError> {
+        Ok(self.run(workload, bins, None))
+    }
+}
+
+impl PreparedSolver for Greedy {
+    fn prepare(&self, bins: &BinSet, theta: f64) -> Result<Arc<dyn SolveArtifacts>, SladeError> {
+        let max_card = bins.max_cardinality() as usize;
+        let mut ladder = Vec::new();
+        let mut r = theta;
+        while !satisfies(0.0, r) && ladder.len() < LADDER_CAP {
+            let Some(bin) = scan_bins(bins, max_card, |_| r) else {
+                break; // no effective bin at this level: let solves scan
+            };
+            debug_assert!(
+                ladder.last().map_or(true, |&(bits, _)| bits > r.to_bits()),
+                "ladder must descend strictly (lookup binary-searches it)"
+            );
+            ladder.push((r.to_bits(), bin));
+            let next = r - bins.bins()[bin].weight();
+            if next.to_bits() == r.to_bits() {
+                break; // denormal-small weight: no progress, stop the walk
+            }
+            r = next;
+        }
+        Ok(Arc::new(GreedyArtifacts {
+            theta,
+            bins_signature: bins.signature(),
+            ladder,
+        }))
+    }
+
+    fn solve_with(
+        &self,
+        artifacts: &dyn SolveArtifacts,
+        workload: &Workload,
+        bins: &BinSet,
+    ) -> Result<DecompositionPlan, SladeError> {
+        let artifacts = expect_artifacts::<GreedyArtifacts>(self.name(), artifacts)?;
+        if artifacts.bins_signature != bins.signature() {
+            return Err(SladeError::ArtifactMismatch {
+                solver: self.name(),
+                detail: "artifacts were prepared for a different bin menu".into(),
+            });
+        }
+        Ok(self.run(workload, bins, Some(artifacts)))
+    }
+
+    // No knobs: the greedy is a unit struct, so `(BinSet, θ)` alone
+    // identifies its artifacts.
 }
 
 #[cfg(test)]
@@ -221,9 +379,11 @@ mod tests {
             for n in [1u32, 2, 7, 40, 300] {
                 // Homogeneous (many residual ties) and heterogeneous spreads.
                 let homo = Workload::homogeneous(n, 0.95).unwrap();
-                assert_eq!(Greedy.solve(&homo, bins).unwrap(), reference_solve(&homo, bins));
-                let thresholds: Vec<f64> =
-                    (0..n).map(|_| rng.random_range(0.05..0.995)).collect();
+                assert_eq!(
+                    Greedy.solve(&homo, bins).unwrap(),
+                    reference_solve(&homo, bins)
+                );
+                let thresholds: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..0.995)).collect();
                 let hetero = Workload::heterogeneous(thresholds).unwrap();
                 assert_eq!(
                     Greedy.solve(&hetero, bins).unwrap(),
@@ -232,6 +392,57 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn prepared_pipeline_matches_one_shot_exactly() {
+        let menus = [
+            BinSet::paper_example(),
+            BinSet::new([(1, 0.9, 0.1), (3, 0.55, 0.12), (5, 0.6, 0.22)]).unwrap(),
+        ];
+        let mut rng = StdRng::seed_from_u64(0x1adde);
+        for bins in &menus {
+            for n in [1u32, 2, 7, 40, 300] {
+                for t in [0.5, 0.95, 0.999] {
+                    let w = Workload::homogeneous(n, t).unwrap();
+                    let artifacts = Greedy.prepare(bins, w.theta(0)).unwrap();
+                    let two_phase = Greedy.solve_with(artifacts.as_ref(), &w, bins).unwrap();
+                    assert_eq!(
+                        two_phase,
+                        Greedy.solve(&w, bins).unwrap(),
+                        "n = {n}, t = {t}"
+                    );
+                }
+                // Heterogeneous workloads with artifacts anchored at θ_max:
+                // the ladder rarely fires, but plans must stay identical.
+                let thresholds: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..0.995)).collect();
+                let w = Workload::heterogeneous(thresholds).unwrap();
+                let theta_max = w.thetas().fold(f64::MIN, f64::max);
+                let artifacts = Greedy.prepare(bins, theta_max).unwrap();
+                let two_phase = Greedy.solve_with(artifacts.as_ref(), &w, bins).unwrap();
+                assert_eq!(two_phase, Greedy.solve(&w, bins).unwrap(), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_walks_the_uniform_descent() {
+        // t = 0.95 over the paper menu: level θ(0.95) elects b1 (ratio
+        // 0.0434 beats b2's 0.0474 and b3's 0.0497), then level
+        // θ - w(0.9) = 0.693 elects b3 (0.115 beats b1's 0.144 and b2's
+        // 0.130), after which one b3 weight clears the residual.
+        let bins = BinSet::paper_example();
+        let theta = crate::reliability::theta(0.95);
+        let artifacts = Greedy.prepare(&bins, theta).unwrap();
+        let arts = artifacts
+            .as_any()
+            .downcast_ref::<GreedyArtifacts>()
+            .unwrap();
+        assert_eq!(arts.rungs(), 2);
+        assert_eq!(arts.lookup(theta.to_bits()), Some(0));
+        let level1 = theta - bins.bins()[0].weight();
+        assert_eq!(arts.lookup(level1.to_bits()), Some(2));
+        assert_eq!(arts.lookup(1.0f64.to_bits()), None);
     }
 
     #[test]

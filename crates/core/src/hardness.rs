@@ -112,9 +112,18 @@ mod tests {
         // size 2.4 >= 2.2) beats both the big item (0.65) and small-item
         // stacks (3 x 0.2 = 0.6 only reaches 2.1 < 2.2; 4 x 0.2 = 0.8).
         let items = [
-            KnapsackItem { size: 0.7, cost: 0.2 },
-            KnapsackItem { size: 1.2, cost: 0.25 },
-            KnapsackItem { size: 2.3, cost: 0.65 },
+            KnapsackItem {
+                size: 0.7,
+                cost: 0.2,
+            },
+            KnapsackItem {
+                size: 1.2,
+                cost: 0.25,
+            },
+            KnapsackItem {
+                size: 2.3,
+                cost: 0.65,
+            },
         ];
         let demand = 2.2;
         let (workload, bins) = knapsack_to_slade(&items, demand).unwrap();
@@ -132,8 +141,14 @@ mod tests {
     #[test]
     fn weights_survive_the_confidence_round_trip() {
         let items = [
-            KnapsackItem { size: 0.5, cost: 1.0 },
-            KnapsackItem { size: 3.0, cost: 2.0 },
+            KnapsackItem {
+                size: 0.5,
+                cost: 1.0,
+            },
+            KnapsackItem {
+                size: 3.0,
+                cost: 2.0,
+            },
         ];
         let (_, bins) = knapsack_to_slade(&items, 1.0).unwrap();
         // BinSet sorts by cardinality, which here preserves item order.
@@ -145,15 +160,28 @@ mod tests {
 
     #[test]
     fn invalid_inputs_are_rejected() {
-        let good = KnapsackItem { size: 1.0, cost: 1.0 };
+        let good = KnapsackItem {
+            size: 1.0,
+            cost: 1.0,
+        };
         assert!(knapsack_to_slade(&[good], 0.0).is_err());
         assert!(knapsack_to_slade(&[good], f64::NAN).is_err());
         assert!(knapsack_to_slade(&[], 1.0).is_err());
-        assert!(
-            knapsack_to_slade(&[KnapsackItem { size: 1.0, cost: -1.0 }], 1.0).is_err()
-        );
-        assert!(
-            knapsack_to_slade(&[KnapsackItem { size: 0.0, cost: 1.0 }], 1.0).is_err()
-        );
+        assert!(knapsack_to_slade(
+            &[KnapsackItem {
+                size: 1.0,
+                cost: -1.0
+            }],
+            1.0
+        )
+        .is_err());
+        assert!(knapsack_to_slade(
+            &[KnapsackItem {
+                size: 0.0,
+                cost: 1.0
+            }],
+            1.0
+        )
+        .is_err());
     }
 }

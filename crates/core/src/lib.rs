@@ -64,12 +64,13 @@ pub mod prelude {
     pub use crate::bin_set::{BinSet, TaskBin};
     pub use crate::error::SladeError;
     pub use crate::exact::ExactSolver;
+    pub use crate::fingerprint::{Fingerprint, KnobSink};
     pub use crate::greedy::Greedy;
     pub use crate::hetero::OpqExtended;
     pub use crate::opq::OptimalPriorityQueue;
     pub use crate::opq_based::OpqBased;
     pub use crate::plan::{DecompositionPlan, PlanAudit};
-    pub use crate::solver::{Algorithm, DecompositionSolver};
+    pub use crate::solver::{Algorithm, DecompositionSolver, PreparedSolver, SolveArtifacts};
     pub use crate::task::{TaskId, Workload};
 }
 

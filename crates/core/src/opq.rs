@@ -310,8 +310,7 @@ mod tests {
 
     fn paper_opq(key: CombinationKey) -> Vec<Combination> {
         let bins = BinSet::paper_example();
-        let mut opq =
-            OptimalPriorityQueue::new(&bins, theta(0.95), key, OpqConfig::default());
+        let mut opq = OptimalPriorityQueue::new(&bins, theta(0.95), key, OpqConfig::default());
         opq.take_feasible(16)
     }
 

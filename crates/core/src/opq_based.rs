@@ -40,10 +40,13 @@
 
 use crate::bin_set::BinSet;
 use crate::error::SladeError;
+use crate::fingerprint::KnobSink;
 use crate::opq::{Combination, CombinationKey, OpqConfig, OptimalPriorityQueue};
 use crate::plan::DecompositionPlan;
-use crate::solver::DecompositionSolver;
+use crate::solver::{expect_artifacts, DecompositionSolver, PreparedSolver, SolveArtifacts};
 use crate::task::{TaskId, Workload};
+use std::any::Any;
+use std::sync::Arc;
 
 /// The OPQ-Based solver (homogeneous workloads only).
 #[derive(Debug, Clone)]
@@ -79,7 +82,7 @@ impl Default for OpqBased {
 /// `slade-engine`'s `ArtifactCache` shares them across requests behind an
 /// `Arc`, which is why the type is plain owned data (`Send + Sync`).
 #[derive(Debug, Clone, PartialEq)]
-pub struct SolveArtifacts {
+pub struct OpqArtifacts {
     /// Candidate combination pool (union of both OPQ keys, deduplicated).
     pool: Vec<Combination>,
     /// `best[j]` — cheapest cost of serving `j` tasks with DP groups.
@@ -88,9 +91,12 @@ pub struct SolveArtifacts {
     choice: Vec<(u32, usize)>,
     /// The transformed threshold the artifacts were enumerated against.
     theta: f64,
+    /// Signature of the bin menu the pool indices refer to; `solve_with`
+    /// rejects a different menu (pool/DP indices would silently misapply).
+    bins_signature: u64,
 }
 
-impl SolveArtifacts {
+impl OpqArtifacts {
     /// The transformed threshold `θ` these artifacts serve.
     #[inline]
     pub fn theta(&self) -> f64 {
@@ -140,11 +146,7 @@ impl OpqBased {
     /// Runs the exact group DP for `cap` tasks over the candidate `pool`.
     /// Returns per-size best costs `R[0..=cap]` and the `(group size, combo)`
     /// choice realizing each.
-    fn group_dp(
-        pool: &[Combination],
-        bins: &BinSet,
-        cap: u32,
-    ) -> (Vec<f64>, Vec<(u32, usize)>) {
+    fn group_dp(pool: &[Combination], bins: &BinSet, cap: u32) -> (Vec<f64>, Vec<(u32, usize)>) {
         let cap = cap as usize;
         let mut best = vec![f64::INFINITY; cap + 1];
         let mut choice = vec![(0u32, 0usize); cap + 1];
@@ -164,12 +166,7 @@ impl OpqBased {
     }
 
     /// Reconstructs the DP's group list for `j` tasks starting at `base`.
-    fn unroll(
-        choice: &[(u32, usize)],
-        mut j: u32,
-        mut base: TaskId,
-        groups: &mut Vec<Group>,
-    ) {
+    fn unroll(choice: &[(u32, usize)], mut j: u32, mut base: TaskId, groups: &mut Vec<Group>) {
         while j > 0 {
             let (g, qi) = choice[j as usize];
             groups.push(Group {
@@ -183,7 +180,12 @@ impl OpqBased {
     }
 
     /// Materializes a group as physical bins via round-robin placement.
-    fn emit_group(group: &Group, pool: &[Combination], bins: &BinSet, plan: &mut DecompositionPlan) {
+    fn emit_group(
+        group: &Group,
+        pool: &[Combination],
+        bins: &BinSet,
+        plan: &mut DecompositionPlan,
+    ) {
         let q = &pool[group.combo];
         let g = group.size as u64;
         for (i, &k) in q.counts().iter().enumerate() {
@@ -208,12 +210,12 @@ impl OpqBased {
 
     /// Precomputes the enumeration pool and group-DP tables for transformed
     /// threshold `theta` up to this configuration's full `dp_cap`, so the
-    /// result can serve workloads of any size (see [`SolveArtifacts`]).
+    /// result can serve workloads of any size (see [`OpqArtifacts`]).
     ///
     /// This is the expensive, workload-independent part of
     /// [`OpqBased::solve`]; callers that face repeated `(BinSet, θ)` pairs
     /// (the `slade-engine` service) compute it once and share it.
-    pub fn artifacts(&self, bins: &BinSet, theta: f64) -> Result<SolveArtifacts, SladeError> {
+    pub fn artifacts(&self, bins: &BinSet, theta: f64) -> Result<OpqArtifacts, SladeError> {
         self.artifacts_up_to(bins, theta, self.dp_cap.max(1))
     }
 
@@ -224,17 +226,18 @@ impl OpqBased {
         bins: &BinSet,
         theta: f64,
         cap: u32,
-    ) -> Result<SolveArtifacts, SladeError> {
+    ) -> Result<OpqArtifacts, SladeError> {
         let pool = self.candidate_pool(bins, theta);
         if pool.is_empty() {
             return Err(SladeError::EmptyEnumeration);
         }
         let (best, choice) = Self::group_dp(&pool, bins, cap);
-        Ok(SolveArtifacts {
+        Ok(OpqArtifacts {
             pool,
             best,
             choice,
             theta,
+            bins_signature: bins.signature(),
         })
     }
 
@@ -247,7 +250,7 @@ impl OpqBased {
     pub fn solve_with_artifacts(
         &self,
         n: u32,
-        artifacts: &SolveArtifacts,
+        artifacts: &OpqArtifacts,
         bins: &BinSet,
     ) -> DecompositionPlan {
         debug_assert!(n >= 1);
@@ -308,6 +311,58 @@ fn bins_needed(g: u64, k: u32, l: u32) -> u64 {
     u64::from(k).max(slots.div_ceil(u64::from(l)))
 }
 
+impl SolveArtifacts for OpqArtifacts {
+    fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl PreparedSolver for OpqBased {
+    fn prepare(&self, bins: &BinSet, theta: f64) -> Result<Arc<dyn SolveArtifacts>, SladeError> {
+        Ok(Arc::new(self.artifacts(bins, theta)?))
+    }
+
+    fn solve_with(
+        &self,
+        artifacts: &dyn SolveArtifacts,
+        workload: &Workload,
+        bins: &BinSet,
+    ) -> Result<DecompositionPlan, SladeError> {
+        if !workload.is_homogeneous() {
+            return Err(SladeError::HeterogeneousUnsupported { solver: "OpqBased" });
+        }
+        let artifacts = expect_artifacts::<OpqArtifacts>(self.name(), artifacts)?;
+        if artifacts.bins_signature != bins.signature() {
+            return Err(SladeError::ArtifactMismatch {
+                solver: self.name(),
+                detail: "artifacts were prepared for a different bin menu".into(),
+            });
+        }
+        let theta = workload.theta(0);
+        if theta.to_bits() != artifacts.theta.to_bits() {
+            return Err(SladeError::ArtifactMismatch {
+                solver: self.name(),
+                detail: format!(
+                    "artifacts prepared for θ = {}, workload demands θ = {theta}",
+                    artifacts.theta
+                ),
+            });
+        }
+        Ok(self.solve_with_artifacts(workload.len(), artifacts, bins))
+    }
+
+    fn fingerprint_knobs(&self, sink: &mut KnobSink) {
+        sink.write_usize(self.pool_size);
+        sink.write_u64(u64::from(self.dp_cap));
+        sink.write_opt_usize(self.opq.max_combination_size);
+        sink.write_usize(self.opq.max_expansions);
+    }
+}
+
 impl DecompositionSolver for OpqBased {
     fn name(&self) -> &'static str {
         "OpqBased"
@@ -339,7 +394,11 @@ mod tests {
         let bins = BinSet::paper_example();
         let workload = Workload::homogeneous(4, 0.95).unwrap();
         let plan = OpqBased::default().solve(&workload, &bins).unwrap();
-        assert!((plan.total_cost() - 0.68).abs() < 1e-9, "{}", plan.total_cost());
+        assert!(
+            (plan.total_cost() - 0.68).abs() < 1e-9,
+            "{}",
+            plan.total_cost()
+        );
         let audit = plan.validate(&workload, &bins).unwrap();
         assert!(audit.feasible);
         // Example 9's structure: two b3 bins + two b1 bins.
@@ -375,7 +434,11 @@ mod tests {
         // stay within one combination's posting cost of n times that.
         let lower = f64::from(n) * 0.16;
         assert!(plan.total_cost() >= lower - 1e-6);
-        assert!(plan.total_cost() <= lower + 0.48 + 1e-6, "{}", plan.total_cost());
+        assert!(
+            plan.total_cost() <= lower + 0.48 + 1e-6,
+            "{}",
+            plan.total_cost()
+        );
     }
 
     #[test]
@@ -403,9 +466,7 @@ mod tests {
         // DP is bottom-up (a prefix of a longer table is the shorter table).
         let bins = BinSet::paper_example();
         let solver = OpqBased::default();
-        let artifacts = solver
-            .artifacts(&bins, reliability::theta(0.95))
-            .unwrap();
+        let artifacts = solver.artifacts(&bins, reliability::theta(0.95)).unwrap();
         assert_eq!(artifacts.dp_cap(), solver.dp_cap);
         assert!(!artifacts.pool().is_empty());
         for n in [1u32, 4, 100, 256, 300, 5_000] {
@@ -414,6 +475,34 @@ mod tests {
             let from_artifacts = solver.solve_with_artifacts(n, &artifacts, &bins);
             assert_eq!(one_shot, from_artifacts, "n = {n}");
         }
+    }
+
+    #[test]
+    fn prepared_pipeline_matches_one_shot_and_rejects_mismatches() {
+        let bins = BinSet::paper_example();
+        let solver = OpqBased::default();
+        let theta95 = reliability::theta(0.95);
+        let artifacts = solver.prepare(&bins, theta95).unwrap();
+        for n in [1u32, 4, 300, 5_000] {
+            let w = Workload::homogeneous(n, 0.95).unwrap();
+            let two_phase = solver.solve_with(artifacts.as_ref(), &w, &bins).unwrap();
+            assert_eq!(two_phase, solver.solve(&w, &bins).unwrap(), "n = {n}");
+        }
+        // θ mismatch: artifacts for 0.95 cannot serve a 0.9 workload.
+        let w90 = Workload::homogeneous(4, 0.9).unwrap();
+        assert!(matches!(
+            solver.solve_with(artifacts.as_ref(), &w90, &bins),
+            Err(SladeError::ArtifactMismatch {
+                solver: "OpqBased",
+                ..
+            })
+        ));
+        // Heterogeneous workloads are rejected before any downcast.
+        let hetero = Workload::heterogeneous(vec![0.5, 0.9]).unwrap();
+        assert!(matches!(
+            solver.solve_with(artifacts.as_ref(), &hetero, &bins),
+            Err(SladeError::HeterogeneousUnsupported { solver: "OpqBased" })
+        ));
     }
 
     #[test]

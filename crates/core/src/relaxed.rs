@@ -42,10 +42,7 @@ use crate::task::{TaskId, Workload};
 ///
 /// Errors with [`SladeError::NotRelaxed`] if some bin confidence falls below
 /// the workload's maximum threshold.
-pub fn solve_relaxed(
-    workload: &Workload,
-    bins: &BinSet,
-) -> Result<DecompositionPlan, SladeError> {
+pub fn solve_relaxed(workload: &Workload, bins: &BinSet) -> Result<DecompositionPlan, SladeError> {
     let t_max = workload.max_threshold();
     let theta_max = crate::reliability::theta(t_max);
     for b in bins.bins() {
@@ -100,6 +97,10 @@ impl DecompositionSolver for Relaxed {
         solve_relaxed(workload, bins)
     }
 }
+
+// The rod-cutting DP is `O(n·m)` with no workload-independent prefix worth
+// caching, so the two-phase pipeline is the trait's trivial pass-through.
+impl crate::solver::PreparedSolver for Relaxed {}
 
 #[cfg(test)]
 mod tests {

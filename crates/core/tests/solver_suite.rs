@@ -65,7 +65,10 @@ fn relaxed_exact_and_opq_agree_on_relaxed_instances() {
     let bins = BinSet::new([(2, 0.9, 0.3), (3, 0.85, 0.4)]).unwrap();
     for n in 1..=6u32 {
         let w = Workload::homogeneous(n, 0.8).unwrap();
-        let exact = ExactSolver::default().solve(&w, &bins).unwrap().total_cost();
+        let exact = ExactSolver::default()
+            .solve(&w, &bins)
+            .unwrap()
+            .total_cost();
         let opq = OpqBased::default().solve(&w, &bins).unwrap().total_cost();
         let dp = solve_relaxed(&w, &bins).unwrap().total_cost();
         assert!((exact - opq).abs() < 1e-9, "n = {n}");
@@ -82,13 +85,11 @@ fn random_bin_set(rng: &mut StdRng) -> BinSet {
             cards.push(c);
         }
     }
-    BinSet::new(cards.into_iter().map(|c| {
-        (
-            c,
-            rng.random_range(0.3..0.95),
-            rng.random_range(0.05..0.5),
-        )
-    }))
+    BinSet::new(
+        cards
+            .into_iter()
+            .map(|c| (c, rng.random_range(0.3..0.95), rng.random_range(0.05..0.5))),
+    )
     .unwrap()
 }
 
@@ -102,7 +103,12 @@ fn all_solvers_feasible_on_random_homogeneous_workloads() {
         let n = rng.random_range(1..40u32);
         let t = rng.random_range(0.2..0.99);
         let w = Workload::homogeneous(n, t).unwrap();
-        for algorithm in [Algorithm::Greedy, Algorithm::OpqBased, Algorithm::OpqExtended, Algorithm::Baseline] {
+        for algorithm in [
+            Algorithm::Greedy,
+            Algorithm::OpqBased,
+            Algorithm::OpqExtended,
+            Algorithm::Baseline,
+        ] {
             let plan = algorithm
                 .solve(&w, &bins)
                 .unwrap_or_else(|e| panic!("round {round}: {algorithm}: {e}"));
@@ -127,7 +133,11 @@ fn all_solvers_feasible_on_random_heterogeneous_workloads() {
         let n = rng.random_range(2..40u32);
         let thresholds: Vec<f64> = (0..n).map(|_| rng.random_range(0.1..0.99)).collect();
         let w = Workload::heterogeneous(thresholds).unwrap();
-        for algorithm in [Algorithm::Greedy, Algorithm::OpqExtended, Algorithm::Baseline] {
+        for algorithm in [
+            Algorithm::Greedy,
+            Algorithm::OpqExtended,
+            Algorithm::Baseline,
+        ] {
             let plan = algorithm
                 .solve(&w, &bins)
                 .unwrap_or_else(|e| panic!("round {round}: {algorithm}: {e}"));
@@ -151,7 +161,10 @@ fn approximations_bounded_by_exact_on_tiny_random_instances() {
         let n = rng.random_range(1..5u32);
         let t = rng.random_range(0.3..0.95);
         let w = Workload::homogeneous(n, t).unwrap();
-        let exact = ExactSolver::default().solve(&w, &bins).unwrap().total_cost();
+        let exact = ExactSolver::default()
+            .solve(&w, &bins)
+            .unwrap()
+            .total_cost();
         for algorithm in [Algorithm::Greedy, Algorithm::OpqBased, Algorithm::Baseline] {
             let approx = algorithm.solve(&w, &bins).unwrap().total_cost();
             assert!(approx >= exact - 1e-9, "{algorithm} beat the exact optimum");

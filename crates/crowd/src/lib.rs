@@ -268,9 +268,24 @@ mod tests {
     #[test]
     fn calibration_round_trips_through_the_solvers() {
         let probes = [
-            BinProbe { cardinality: 1, correct: 900, total: 1_000, cost_millis: 100 },
-            BinProbe { cardinality: 2, correct: 850, total: 1_000, cost_millis: 180 },
-            BinProbe { cardinality: 3, correct: 800, total: 1_000, cost_millis: 240 },
+            BinProbe {
+                cardinality: 1,
+                correct: 900,
+                total: 1_000,
+                cost_millis: 100,
+            },
+            BinProbe {
+                cardinality: 2,
+                correct: 850,
+                total: 1_000,
+                cost_millis: 180,
+            },
+            BinProbe {
+                cardinality: 3,
+                correct: 800,
+                total: 1_000,
+                cost_millis: 240,
+            },
         ];
         let bins = calibrate(&probes).unwrap();
         assert_eq!(bins.len(), 3);
@@ -284,8 +299,18 @@ mod tests {
     #[test]
     fn calibration_rejects_duplicate_cardinalities() {
         let probes = [
-            BinProbe { cardinality: 2, correct: 1, total: 2, cost_millis: 100 },
-            BinProbe { cardinality: 2, correct: 1, total: 2, cost_millis: 200 },
+            BinProbe {
+                cardinality: 2,
+                correct: 1,
+                total: 2,
+                cost_millis: 100,
+            },
+            BinProbe {
+                cardinality: 2,
+                correct: 1,
+                total: 2,
+                cost_millis: 200,
+            },
         ];
         assert!(calibrate(&probes).is_err());
     }

@@ -1,27 +1,46 @@
-//! The artifact cache: an LRU over `Arc`-shared solve artifacts.
+//! The artifact cache: an LRU over `Arc`-shared solve artifacts, shared by
+//! every algorithm.
 
-use crate::fingerprint::Fingerprint;
-use slade_core::opq_based::SolveArtifacts;
+use slade_core::fingerprint::Fingerprint;
+use slade_core::solver::{Algorithm, SolveArtifacts};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// A thread-safe LRU cache from [`Fingerprint`] to
+/// The cache key: which algorithm's `prepare` ran, over which
+/// [`Fingerprint`] (bin-menu signature, θ bits, and the solver's own knob
+/// digest). One cache serves every request type; the `Algorithm` component
+/// keeps two solvers' artifacts apart even when their knob words coincide.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The algorithm whose [`prepare`](slade_core::solver::PreparedSolver)
+    /// produced (or will produce) the entry.
+    pub algorithm: Algorithm,
+    /// The canonical identity of the prepare computation.
+    pub fingerprint: Fingerprint,
+}
+
+/// A thread-safe LRU cache from [`CacheKey`] to type-erased
 /// [`SolveArtifacts`], shared by every worker of an [`Engine`].
 ///
-/// Keys hash by their 64-bit digest but compare by full key material
-/// (`Fingerprint`'s `Eq` checks the bin menu by content), so an FNV digest
-/// collision between two distinct instances lands in the same hash bucket
-/// yet can never alias entries — the standard `HashMap` probe rejects the
-/// mismatched key and the second instance simply computes its own artifacts.
+/// Keys hash by the fingerprint's 64-bit digest but compare by full key
+/// material (`Fingerprint`'s `Eq` checks the bin menu by content), so an FNV
+/// digest collision between two distinct instances lands in the same hash
+/// bucket yet can never alias entries — the standard `HashMap` probe rejects
+/// the mismatched key and the second instance simply computes its own
+/// artifacts.
 ///
 /// Values are `Arc`ed, so a hit hands out a shared reference while the entry
 /// may be concurrently evicted — readers are never invalidated. The
 /// computation in [`ArtifactCache::get_or_try_insert_with`] runs *outside*
-/// the lock: two workers racing on the same cold fingerprint may both
-/// compute, but artifact computation is deterministic, so whichever insert
-/// lands first wins and both results are interchangeable. That keeps the
-/// critical section to a map probe and preserves determinism.
+/// the lock: two workers racing on the same cold key may both compute, but
+/// `prepare` is deterministic, so whichever insert lands first wins and both
+/// results are interchangeable. That keeps the critical section to a map
+/// probe and preserves determinism.
+///
+/// Artifacts reporting [`SolveArtifacts::cacheable`]` == false`
+/// (pass-through solvers) are computed but never inserted, so trivial
+/// entries cannot evict expensive ones.
 ///
 /// A capacity of `0` disables caching (every lookup computes); the engine
 /// uses that for apples-to-apples cold benchmarks.
@@ -37,19 +56,19 @@ pub struct ArtifactCache {
 
 #[derive(Debug)]
 struct Inner {
-    map: HashMap<Fingerprint, Slot>,
+    map: HashMap<CacheKey, Slot>,
     /// Recency index: `last_used` stamp → key, mirroring `map` one-to-one
     /// (stamps are unique — the clock only ticks under the lock), so
     /// eviction pops the smallest stamp in `O(log entries)` instead of
     /// scanning the whole map.
-    order: BTreeMap<u64, Fingerprint>,
+    order: BTreeMap<u64, CacheKey>,
     /// Monotone logical clock stamping every access, for LRU eviction.
     clock: u64,
 }
 
 #[derive(Debug)]
 struct Slot {
-    artifacts: Arc<SolveArtifacts>,
+    artifacts: Arc<dyn SolveArtifacts>,
     last_used: u64,
 }
 
@@ -108,15 +127,16 @@ impl ArtifactCache {
 
     /// Returns the artifacts for `key`, computing and caching them with
     /// `compute` on a miss. Errors from `compute` are passed through and
-    /// nothing is cached.
+    /// nothing is cached; non-[`cacheable`](SolveArtifacts::cacheable)
+    /// results are returned without being inserted.
     pub fn get_or_try_insert_with<E>(
         &self,
-        key: Fingerprint,
-        compute: impl FnOnce() -> Result<SolveArtifacts, E>,
-    ) -> Result<Arc<SolveArtifacts>, E> {
+        key: CacheKey,
+        compute: impl FnOnce() -> Result<Arc<dyn SolveArtifacts>, E>,
+    ) -> Result<Arc<dyn SolveArtifacts>, E> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            return compute().map(Arc::new);
+            return compute();
         }
 
         if let Some(found) = self.touch(&key) {
@@ -126,7 +146,10 @@ impl ArtifactCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
 
         // Compute outside the lock; see the type-level docs for the race.
-        let computed = Arc::new(compute()?);
+        let computed = compute()?;
+        if !computed.cacheable() {
+            return Ok(computed);
+        }
 
         let mut inner = self.lock();
         inner.clock += 1;
@@ -159,7 +182,7 @@ impl ArtifactCache {
     }
 
     /// Looks `key` up and refreshes its LRU stamp.
-    fn touch(&self, key: &Fingerprint) -> Option<Arc<SolveArtifacts>> {
+    fn touch(&self, key: &CacheKey) -> Option<Arc<dyn SolveArtifacts>> {
         let mut inner = self.lock();
         inner.clock += 1;
         let stamp = inner.clock;
@@ -192,24 +215,27 @@ impl ArtifactCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fingerprint::Fingerprint;
     use slade_core::bin_set::BinSet;
     use slade_core::opq_based::OpqBased;
     use slade_core::reliability::theta;
+    use slade_core::solver::{PassThroughArtifacts, PreparedSolver};
     use slade_core::SladeError;
 
-    fn artifacts_for(t: f64) -> (Fingerprint, SolveArtifacts) {
+    fn key_and_artifacts(t: f64) -> (CacheKey, Arc<dyn SolveArtifacts>) {
         let bins = Arc::new(BinSet::paper_example());
         let solver = OpqBased::default();
-        let key = Fingerprint::new(Arc::clone(&bins), theta(t), &solver);
-        let artifacts = solver.artifacts(&bins, theta(t)).unwrap();
+        let key = CacheKey {
+            algorithm: Algorithm::OpqBased,
+            fingerprint: Fingerprint::new(Arc::clone(&bins), theta(t), &solver),
+        };
+        let artifacts = solver.prepare(&bins, theta(t)).unwrap();
         (key, artifacts)
     }
 
     #[test]
     fn hit_returns_the_cached_arc() {
         let cache = ArtifactCache::new(4);
-        let (key, artifacts) = artifacts_for(0.95);
+        let (key, artifacts) = key_and_artifacts(0.95);
         let first = cache
             .get_or_try_insert_with::<SladeError>(key.clone(), || Ok(artifacts))
             .unwrap();
@@ -222,13 +248,38 @@ mod tests {
     }
 
     #[test]
+    fn same_fingerprint_under_two_algorithms_is_two_entries() {
+        // Greedy and OpqExtended can share a fingerprint digest shape; the
+        // Algorithm component must still keep their artifacts apart.
+        let cache = ArtifactCache::new(4);
+        let (key, artifacts) = key_and_artifacts(0.95);
+        let other_key = CacheKey {
+            algorithm: Algorithm::OpqExtended,
+            fingerprint: key.fingerprint.clone(),
+        };
+        cache
+            .get_or_try_insert_with::<SladeError>(key, || Ok(artifacts))
+            .unwrap();
+        let mut recomputed = false;
+        let (_, other) = key_and_artifacts(0.95);
+        cache
+            .get_or_try_insert_with::<SladeError>(other_key, || {
+                recomputed = true;
+                Ok(other)
+            })
+            .unwrap();
+        assert!(recomputed);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
     fn lru_evicts_the_coldest_entry() {
         let cache = ArtifactCache::new(2);
-        let (k1, a1) = artifacts_for(0.90);
-        let (k2, a2) = artifacts_for(0.95);
-        let (k3, a3) = artifacts_for(0.99);
+        let (k1, a1) = key_and_artifacts(0.90);
+        let (k2, a2) = key_and_artifacts(0.95);
+        let (k3, a3) = key_and_artifacts(0.99);
         cache
-            .get_or_try_insert_with::<SladeError>(k1.clone(), || Ok(a1.clone()))
+            .get_or_try_insert_with::<SladeError>(k1.clone(), || Ok(Arc::clone(&a1)))
             .unwrap();
         cache
             .get_or_try_insert_with::<SladeError>(k2.clone(), || Ok(a2))
@@ -247,7 +298,7 @@ mod tests {
             .unwrap();
         // ...and k2, the coldest at overflow time, was the one evicted.
         let mut recomputed = false;
-        let (_, a2_again) = artifacts_for(0.95);
+        let (_, a2_again) = key_and_artifacts(0.95);
         cache
             .get_or_try_insert_with::<SladeError>(k2, || {
                 recomputed = true;
@@ -260,8 +311,8 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let cache = ArtifactCache::new(0);
-        let (key, artifacts) = artifacts_for(0.95);
-        let other = artifacts.clone();
+        let (key, artifacts) = key_and_artifacts(0.95);
+        let other = Arc::clone(&artifacts);
         cache
             .get_or_try_insert_with::<SladeError>(key.clone(), || Ok(artifacts))
             .unwrap();
@@ -278,12 +329,27 @@ mod tests {
     }
 
     #[test]
+    fn pass_through_artifacts_are_never_inserted() {
+        let cache = ArtifactCache::new(4);
+        let (key, _) = key_and_artifacts(0.95);
+        for expected_misses in 1..=2u64 {
+            cache
+                .get_or_try_insert_with::<SladeError>(key.clone(), || {
+                    Ok(Arc::new(PassThroughArtifacts::new(theta(0.95))))
+                })
+                .unwrap();
+            assert!(cache.is_empty());
+            assert_eq!(cache.stats().misses, expected_misses);
+        }
+    }
+
+    #[test]
     fn compute_errors_pass_through_and_cache_nothing() {
         let cache = ArtifactCache::new(4);
-        let (key, artifacts) = artifacts_for(0.95);
+        let (key, artifacts) = key_and_artifacts(0.95);
         let err = cache
             .get_or_try_insert_with(key.clone(), || {
-                Err::<SolveArtifacts, _>(SladeError::EmptyEnumeration)
+                Err::<Arc<dyn SolveArtifacts>, _>(SladeError::EmptyEnumeration)
             })
             .unwrap_err();
         assert_eq!(err, SladeError::EmptyEnumeration);

@@ -3,8 +3,8 @@
 //! The solvers in `slade-core` are one-shot functions: one thread, one
 //! instance, one plan. A production decomposition service faces a different
 //! shape of load — many requesters posting workloads against a shared bin
-//! marketplace, with heavy repetition in `(bin menu, threshold)` pairs. This
-//! crate closes that gap with three pieces, std-only:
+//! marketplace, with heavy repetition in `(bin menu, threshold)` pairs and
+//! workloads that evolve in place. This crate closes that gap, std-only:
 //!
 //! * **a fixed worker pool** ([`Engine`]) — `std::thread` workers pulling
 //!   jobs from one bounded `mpsc` channel, so [`Engine::submit`] exerts
@@ -14,11 +14,25 @@
 //!   large homogeneous requests into fixed-size chunks, each an independent
 //!   job; sub-plans are merged in shard order, so the result is a function
 //!   of the request alone, never of thread count or scheduling;
-//! * **an artifact cache** ([`ArtifactCache`]) — an LRU keyed by a canonical
-//!   [`Fingerprint`] of `(BinSet signature, θ, solver knobs)` memoizing the
-//!   OPQ enumeration pool and group-DP tables
-//!   ([`slade_core::opq_based::SolveArtifacts`]) behind an `Arc`, so a
-//!   repeated `(BinSet, θ)` skips enumeration entirely.
+//! * **an algorithm-agnostic artifact cache** ([`ArtifactCache`]) — one LRU
+//!   keyed by `(Algorithm, `[`Fingerprint`]`)` over type-erased
+//!   [`slade_core::solver::SolveArtifacts`]. Every worker routes every
+//!   shard through the core's two-phase
+//!   [`PreparedSolver`](slade_core::solver::PreparedSolver) pipeline
+//!   (`prepare` once per fingerprint, `solve_with` per workload), so
+//!   repeated `(BinSet, θ)` pairs skip the expensive prepare step for
+//!   **all** algorithms — OPQ enumeration + group DP, the greedy's ladder,
+//!   the baseline's scaffolding — not just OpqBased. (OpqExtended requests
+//!   are first decomposed into their per-bucket homogeneous shards, which
+//!   then run — and cache — as `OpqBased` prepares, maximizing sharing
+//!   across the two request types; `OpqExtended`'s own
+//!   `HeteroArtifacts` prepare path serves direct library callers that
+//!   want per-bucket reuse without an engine);
+//! * **incremental deltas** ([`Engine::resubmit`]) — a solved request can be
+//!   retained as a [`ResolvedPlan`] and re-solved under a
+//!   [`WorkloadDelta`] (grow/shrink `n`, per-task threshold changes,
+//!   appends); only the shards whose inputs changed are recomputed, and the
+//!   result is byte-identical to a cold solve of the final workload.
 //!
 //! ## Determinism
 //!
@@ -27,15 +41,19 @@
 //! [`EngineRequest::seed`]), sharding is decided at submit time from the
 //! request alone, and [`PlanHandle::wait`] merges shard results in shard
 //! order. Hence the same request produces byte-identical plans at
-//! `threads = 1` and `threads = N`, and a warm-cache solve equals the cold
-//! solve for the same fingerprint — both invariants are pinned by this
-//! crate's tests.
+//! `threads = 1` and `threads = N`, a warm-cache solve equals the cold
+//! solve for the same fingerprint (for every algorithm), and a delta
+//! resubmission equals the cold solve of the resulting workload — all
+//! pinned by this crate's tests.
+//!
+//! A panicking solver cannot wedge a handle: workers catch unwinds at the
+//! job boundary and surface them as [`EngineError::WorkerPanicked`].
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use slade_core::prelude::*;
-//! use slade_engine::{Engine, EngineConfig, EngineRequest};
+//! use slade_engine::{Engine, EngineConfig, EngineRequest, WorkloadDelta};
 //! use std::sync::Arc;
 //!
 //! let engine = Engine::new(EngineConfig::default());
@@ -45,14 +63,22 @@
 //!     Workload::homogeneous(4, 0.95).unwrap(),
 //!     bins,
 //! );
-//! let plan = engine.solve(request).unwrap();
-//! assert!((plan.total_cost() - 0.68).abs() < 1e-9); // Example 9
+//! let resolved = engine.solve_resolved(request).unwrap();
+//! assert!((resolved.plan().total_cost() - 0.68).abs() < 1e-9); // Example 9
+//!
+//! // The workload grows: re-solve incrementally from the same artifacts.
+//! let grown = engine.resubmit(&resolved, &WorkloadDelta::Resize(1_000)).unwrap();
+//! assert_eq!(grown.workload().len(), 1_000);
 //! ```
 
 mod cache;
-mod fingerprint;
 mod service;
 
-pub use cache::{ArtifactCache, CacheStats};
-pub use fingerprint::Fingerprint;
-pub use service::{Engine, EngineConfig, EngineError, EngineRequest, PlanHandle};
+pub use cache::{ArtifactCache, CacheKey, CacheStats};
+pub use service::{
+    Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, ResolvedPlan, WorkloadDelta,
+};
+// The fingerprint type cache keys are built from now lives in `slade_core`,
+// next to the signatures and solver knobs it hashes; re-exported here for
+// engine-facing callers.
+pub use slade_core::fingerprint::Fingerprint;

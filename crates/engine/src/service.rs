@@ -1,14 +1,15 @@
-//! The engine: a fixed worker pool, request sharding, and blocking handles.
+//! The engine: a fixed worker pool, request sharding, blocking handles, and
+//! incremental workload deltas.
 
-use crate::cache::{ArtifactCache, CacheStats};
-use crate::fingerprint::Fingerprint;
+use crate::cache::{ArtifactCache, CacheKey, CacheStats};
 use slade_core::baseline::{Baseline, BaselineConfig};
 use slade_core::bin_set::BinSet;
+use slade_core::fingerprint::Fingerprint;
 use slade_core::hetero;
 use slade_core::opq_based::OpqBased;
 use slade_core::plan::DecompositionPlan;
 use slade_core::reliability;
-use slade_core::solver::{Algorithm, DecompositionSolver};
+use slade_core::solver::{Algorithm, PreparedSolver};
 use slade_core::task::{TaskId, Workload};
 use slade_core::SladeError;
 use std::fmt;
@@ -35,10 +36,12 @@ pub struct EngineConfig {
     /// own bins, so the merged plan can post up to one extra leftover group
     /// per chunk compared to the unsharded solve. `None` (the default) keeps
     /// every homogeneous request as a single shard, which is cost-identical
-    /// to [`OpqBased::solve`].
+    /// to the sequential
+    /// [`OpqBased` solve](slade_core::solver::DecompositionSolver::solve).
     pub homogeneous_shard: Option<u32>,
-    /// Configuration used for every artifact-accelerated (OPQ) shard; also
-    /// the configuration whose knobs enter the cache [`Fingerprint`].
+    /// Configuration used for every artifact-accelerated (OPQ) shard; its
+    /// knobs enter those shards' cache [`Fingerprint`]s through
+    /// [`PreparedSolver::fingerprint_knobs`].
     pub solver: OpqBased,
 }
 
@@ -56,7 +59,7 @@ impl Default for EngineConfig {
 
 /// One decomposition request, self-contained and cheap to move across
 /// threads (the bin menu is shared by `Arc`).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct EngineRequest {
     /// The solver to run.
     pub algorithm: Algorithm,
@@ -67,6 +70,24 @@ pub struct EngineRequest {
     /// Per-request seed for randomized solvers (only [`Algorithm::Baseline`]
     /// consumes it today). Deterministic solvers ignore it.
     pub seed: u64,
+    /// When set, this solver runs instead of the registry default for
+    /// `algorithm` — see [`EngineRequest::with_solver`].
+    solver_override: Option<Arc<dyn PreparedSolver + Send + Sync>>,
+}
+
+impl fmt::Debug for EngineRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineRequest")
+            .field("algorithm", &self.algorithm)
+            .field("workload", &self.workload)
+            .field("bins", &self.bins)
+            .field("seed", &self.seed)
+            .field(
+                "solver_override",
+                &self.solver_override.as_ref().map(|s| s.name()),
+            )
+            .finish()
+    }
 }
 
 impl EngineRequest {
@@ -77,6 +98,7 @@ impl EngineRequest {
             workload,
             bins,
             seed: 0,
+            solver_override: None,
         }
     }
 
@@ -86,15 +108,33 @@ impl EngineRequest {
         self.seed = seed;
         self
     }
+
+    /// Runs `solver` instead of the registry default for the request's
+    /// algorithm. Override requests are never sharded and never touch the
+    /// artifact cache (a custom solver has no registry identity to key
+    /// entries under); they exist for embedding experimental solvers — and
+    /// for the engine's own fault-injection tests.
+    #[must_use]
+    pub fn with_solver(mut self, solver: Arc<dyn PreparedSolver + Send + Sync>) -> Self {
+        self.solver_override = Some(solver);
+        self
+    }
 }
 
-/// Errors surfaced by [`PlanHandle::wait`].
+/// Errors surfaced by [`PlanHandle::wait`] and the resolved-plan API.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// A shard's solver failed; the underlying error.
     Solve(SladeError),
-    /// A shard's worker disappeared before delivering a result (it panicked
-    /// while solving, or the engine shut down underneath the handle).
+    /// A shard's solver panicked inside a worker. The worker caught the
+    /// unwind at the job boundary and kept serving; the panic payload (when
+    /// it was a string) is carried here instead of wedging the handle.
+    WorkerPanicked {
+        /// The panic payload, if it was a `&str`/`String` panic.
+        message: String,
+    },
+    /// A shard's worker disappeared before delivering a result (the engine
+    /// shut down underneath the handle).
     ShardLost,
 }
 
@@ -102,6 +142,9 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Solve(e) => write!(f, "shard solve failed: {e}"),
+            EngineError::WorkerPanicked { message } => {
+                write!(f, "a solver panicked while solving a shard: {message}")
+            }
             EngineError::ShardLost => {
                 write!(f, "a worker disappeared before delivering its shard")
             }
@@ -113,7 +156,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Solve(e) => Some(e),
-            EngineError::ShardLost => None,
+            _ => None,
         }
     }
 }
@@ -134,13 +177,19 @@ enum ShardRemap {
     Members(Arc<Vec<TaskId>>),
 }
 
-/// What one shard computes.
+/// What one shard computes. Equality is what [`Engine::resubmit`] uses to
+/// recognize unchanged work: a shard's *raw* (pre-remap) sub-plan is a pure
+/// function of this value (plus the request-level bins/solver state, which
+/// resubmission holds fixed).
+#[derive(Debug, Clone, PartialEq)]
 enum ShardWork {
     /// A homogeneous OPQ solve of `n` tasks at `threshold`, accelerated by
     /// the artifact cache.
     Opq { n: u32, threshold: f64 },
-    /// Run the request's algorithm directly on its full workload.
-    Direct,
+    /// Run the request's algorithm on its full workload through the
+    /// two-phase `prepare`/`solve_with` pipeline (artifact-cached per
+    /// `(Algorithm, Fingerprint)`).
+    Prepared,
 }
 
 struct Shard {
@@ -148,7 +197,7 @@ struct Shard {
     remap: ShardRemap,
 }
 
-type ShardResult = (usize, Result<DecompositionPlan, SladeError>);
+type ShardResult = (usize, Result<DecompositionPlan, EngineError>);
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// The label the requested algorithm's own solver stamps on its plans —
@@ -159,6 +208,28 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 /// pass-through shard carrying whatever label its solver chose.
 fn plan_label(algorithm: Algorithm) -> &'static str {
     algorithm.solver().name()
+}
+
+/// Merges raw shard outputs in shard order under the request's wrap rule;
+/// shared by [`PlanHandle::wait`] and the resolved-plan path so the two can
+/// never diverge. Consumes the subs, so the unwrapped single-shard fast
+/// path is a move, not a clone.
+fn merge_subs(
+    wrap: Option<&'static str>,
+    subs: impl IntoIterator<Item = DecompositionPlan>,
+    remaps: &[ShardRemap],
+) -> DecompositionPlan {
+    let mut subs = subs.into_iter();
+    let Some(label) = wrap else {
+        return subs
+            .next()
+            .expect("an unwrapped handle has exactly one shard");
+    };
+    let mut plan = DecompositionPlan::empty(label);
+    for (sub, remap) in subs.zip(remaps) {
+        plan.merge(apply_remap(sub, remap));
+    }
+    plan
 }
 
 /// A blocking handle to one submitted request.
@@ -190,21 +261,10 @@ impl PlanHandle {
             let (index, result) = self.rx.recv().map_err(|_| EngineError::ShardLost)?;
             subs[index] = Some(result?);
         }
-
-        let Some(label) = self.wrap else {
-            return Ok(subs
-                .into_iter()
-                .next()
-                .flatten()
-                .expect("an unwrapped handle has exactly one shard"));
-        };
-
-        let mut plan = DecompositionPlan::empty(label);
-        for (sub, remap) in subs.into_iter().zip(&self.remaps) {
-            let sub = sub.expect("every shard index reported exactly once");
-            plan.merge(apply_remap(sub, remap));
-        }
-        Ok(plan)
+        let subs = subs
+            .into_iter()
+            .map(|sub| sub.expect("every shard index reported exactly once"));
+        Ok(merge_subs(self.wrap, subs, &self.remaps))
     }
 }
 
@@ -215,6 +275,118 @@ fn apply_remap(mut plan: DecompositionPlan, remap: &ShardRemap) -> Decomposition
         ShardRemap::Members(members) => plan.remap_tasks(|t| members[t as usize]),
     }
     plan
+}
+
+/// An incremental change to a previously solved workload, consumed by
+/// [`Engine::resubmit`]. Deltas only reshape the *workload*; the bin menu,
+/// algorithm, and seed stay those of the prior request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadDelta {
+    /// Grow or shrink the workload to `n` tasks. Growth replicates the
+    /// shared threshold (and therefore requires a homogeneous workload);
+    /// shrinking truncates the highest task ids of either kind.
+    Resize(u32),
+    /// Replace the thresholds of individual tasks (`(task id, new
+    /// threshold)`); the workload is re-bucketed accordingly.
+    SetThresholds(Vec<(TaskId, f64)>),
+    /// Append tasks with the given thresholds after the existing ids.
+    Append(Vec<f64>),
+}
+
+impl WorkloadDelta {
+    /// The workload that results from applying this delta to `workload`.
+    pub fn apply(&self, workload: &Workload) -> Result<Workload, SladeError> {
+        match self {
+            WorkloadDelta::Resize(n) => {
+                if workload.is_homogeneous() {
+                    Workload::homogeneous(*n, workload.threshold(0))
+                } else if *n <= workload.len() {
+                    Workload::heterogeneous((0..*n).map(|i| workload.threshold(i)).collect())
+                } else {
+                    Err(SladeError::InvalidWorkload(format!(
+                        "cannot grow a heterogeneous workload of {} tasks to {n} \
+                         without thresholds; use WorkloadDelta::Append",
+                        workload.len()
+                    )))
+                }
+            }
+            WorkloadDelta::SetThresholds(changes) => {
+                let mut thresholds: Vec<f64> =
+                    (0..workload.len()).map(|i| workload.threshold(i)).collect();
+                for &(task, threshold) in changes {
+                    let Some(slot) = thresholds.get_mut(task as usize) else {
+                        return Err(SladeError::InvalidWorkload(format!(
+                            "threshold change targets task {task}, but the workload \
+                             has only {} tasks",
+                            workload.len()
+                        )));
+                    };
+                    *slot = threshold;
+                }
+                Workload::heterogeneous(thresholds)
+            }
+            WorkloadDelta::Append(extra) => {
+                let mut thresholds: Vec<f64> =
+                    (0..workload.len()).map(|i| workload.threshold(i)).collect();
+                thresholds.extend_from_slice(extra);
+                Workload::heterogeneous(thresholds)
+            }
+        }
+    }
+}
+
+/// A solved request that retains its per-shard results, enabling
+/// [`Engine::resubmit`] to re-solve only the shards a [`WorkloadDelta`]
+/// actually changes.
+#[derive(Debug)]
+pub struct ResolvedPlan {
+    request: EngineRequest,
+    works: Vec<ShardWork>,
+    /// The OPQ-shard solver knob words of the engine that produced `subs`
+    /// ([`PreparedSolver::fingerprint_knobs`] of `EngineConfig::solver`).
+    /// Resubmission on an engine with different knobs must not splice these
+    /// sub-plans in, or the byte-identical-to-cold-solve contract breaks.
+    solver_knobs: slade_core::fingerprint::KnobSink,
+    /// Raw (pre-remap) shard outputs, index-aligned with `works`; behind
+    /// `Arc` so chained resubmissions share rather than deep-copy them.
+    subs: Vec<Arc<DecompositionPlan>>,
+    /// The merged plan; in the unwrapped single-shard case this shares
+    /// `subs[0]`'s allocation instead of duplicating it.
+    plan: Arc<DecompositionPlan>,
+    reused_shards: usize,
+}
+
+impl ResolvedPlan {
+    /// The merged decomposition plan.
+    pub fn plan(&self) -> &DecompositionPlan {
+        &self.plan
+    }
+
+    /// Consumes the resolved state, keeping only the plan.
+    pub fn into_plan(self) -> DecompositionPlan {
+        let ResolvedPlan { plan, subs, .. } = self;
+        // Release the shard handles first so a plan sharing `subs[0]` can
+        // usually be unwrapped instead of cloned.
+        drop(subs);
+        Arc::try_unwrap(plan).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// The workload this plan decomposes (after any deltas).
+    pub fn workload(&self) -> &Workload {
+        &self.request.workload
+    }
+
+    /// How many shards of this solve were reused verbatim from the prior
+    /// resolve instead of being recomputed (always `0` for a fresh
+    /// [`Engine::solve_resolved`]).
+    pub fn reused_shards(&self) -> usize {
+        self.reused_shards
+    }
+
+    /// Total shards of this solve.
+    pub fn shards(&self) -> usize {
+        self.works.len()
+    }
 }
 
 /// The concurrent decomposition service; see the crate docs for the design.
@@ -269,34 +441,12 @@ impl Engine {
     /// decided here, from the request alone.
     pub fn submit(&self, request: EngineRequest) -> PlanHandle {
         let shards = self.shard(&request);
-        // Pass through untouched when the one shard already produces what a
-        // direct `solve` would: any Direct shard (it literally runs the
-        // requested solver), or a whole-workload OPQ shard for OpqBased
-        // (solve_with_artifacts reproduces OpqBased::solve exactly).
-        // Everything else is wrapped under the requested algorithm's label.
-        let wrap = match shards.as_slice() {
-            [Shard {
-                work: ShardWork::Direct,
-                remap: ShardRemap::Offset(0),
-            }] => None,
-            [Shard {
-                work: ShardWork::Opq { .. },
-                remap: ShardRemap::Offset(0),
-            }] if request.algorithm == Algorithm::OpqBased => None,
-            _ => Some(plan_label(request.algorithm)),
-        };
+        let wrap = Self::wrap_of(&shards, &request);
         let (result_tx, result_rx) = channel::<ShardResult>();
         let mut remaps = Vec::with_capacity(shards.len());
-        let queue = self
-            .queue
-            .as_ref()
-            .expect("the queue is open for the engine's whole lifetime");
         for (index, shard) in shards.into_iter().enumerate() {
             remaps.push(shard.remap);
-            let job = self.make_job(index, shard.work, &request, result_tx.clone());
-            queue
-                .send(job)
-                .expect("workers outlive the engine and never hang up the queue");
+            self.enqueue(self.make_job(index, shard.work, &request, result_tx.clone()));
         }
         PlanHandle {
             rx: result_rx,
@@ -320,17 +470,168 @@ impl Engine {
         self.submit(request).wait()
     }
 
+    /// Solves `request` while retaining per-shard results, so follow-up
+    /// [`WorkloadDelta`]s can be applied incrementally with
+    /// [`Engine::resubmit`]. The plan is identical to [`Engine::solve`]'s.
+    pub fn solve_resolved(&self, request: EngineRequest) -> Result<ResolvedPlan, EngineError> {
+        self.run_resolved(request, None)
+    }
+
+    /// Applies `delta` to `prior`'s workload and re-solves, reusing every
+    /// shard whose inputs the delta left unchanged (same task count and
+    /// threshold for OPQ shards — membership may shift, the raw sub-plan is
+    /// id-agnostic — and an untouched workload for pass-through shards).
+    ///
+    /// The returned plan is **byte-identical to a cold solve** of the
+    /// resulting workload: raw shard outputs are deterministic functions of
+    /// their inputs, so reuse is indistinguishable from recomputation.
+    pub fn resubmit(
+        &self,
+        prior: &ResolvedPlan,
+        delta: &WorkloadDelta,
+    ) -> Result<ResolvedPlan, EngineError> {
+        let workload = delta.apply(&prior.request.workload)?;
+        let mut request = prior.request.clone();
+        request.workload = workload;
+        self.run_resolved(request, Some(prior))
+    }
+
+    /// The knob words of this engine's OPQ-shard solver; raw OPQ sub-plans
+    /// are only interchangeable between engines whose words agree.
+    fn solver_knobs(&self) -> slade_core::fingerprint::KnobSink {
+        let mut knobs = slade_core::fingerprint::KnobSink::new();
+        self.config.solver.fingerprint_knobs(&mut knobs);
+        knobs
+    }
+
+    /// The shared resolved-solve path: shard, reuse what `prior` already
+    /// computed, queue the rest, merge in shard order.
+    fn run_resolved(
+        &self,
+        request: EngineRequest,
+        prior: Option<&ResolvedPlan>,
+    ) -> Result<ResolvedPlan, EngineError> {
+        let shards = self.shard(&request);
+        let wrap = Self::wrap_of(&shards, &request);
+        let solver_knobs = self.solver_knobs();
+        let mut works = Vec::with_capacity(shards.len());
+        let mut remaps = Vec::with_capacity(shards.len());
+        let mut subs: Vec<Option<Arc<DecompositionPlan>>> =
+            (0..shards.len()).map(|_| None).collect();
+        let (result_tx, result_rx) = channel::<ShardResult>();
+        let mut reused_shards = 0;
+        let mut outstanding = 0;
+
+        for (index, shard) in shards.into_iter().enumerate() {
+            let reusable = prior.and_then(|p| {
+                // A prior resolve is only a valid donor when everything that
+                // shapes raw sub-plans besides the shard work itself agrees:
+                // algorithm, bin menu, and the engine's OPQ solver knobs (a
+                // `ResolvedPlan` may come from a differently-configured
+                // engine).
+                if p.request.algorithm != request.algorithm
+                    || !Arc::ptr_eq(&p.request.bins, &request.bins)
+                    || p.solver_knobs != solver_knobs
+                {
+                    return None;
+                }
+                match &shard.work {
+                    // Raw OPQ sub-plans depend only on (n, threshold).
+                    ShardWork::Opq { .. } => p.works.iter().position(|w| *w == shard.work),
+                    // A pass-through shard recomputes from the full workload
+                    // (and, for the baseline, the seed).
+                    ShardWork::Prepared => p
+                        .works
+                        .iter()
+                        .position(|w| *w == ShardWork::Prepared)
+                        .filter(|_| {
+                            p.request.workload == request.workload && p.request.seed == request.seed
+                        }),
+                }
+            });
+            if let Some(prior_index) = reusable {
+                subs[index] = Some(Arc::clone(
+                    &prior.expect("reusable implies prior").subs[prior_index],
+                ));
+                reused_shards += 1;
+            } else {
+                self.enqueue(self.make_job(index, shard.work.clone(), &request, result_tx.clone()));
+                outstanding += 1;
+            }
+            works.push(shard.work);
+            remaps.push(shard.remap);
+        }
+
+        for _ in 0..outstanding {
+            let (index, result) = result_rx.recv().map_err(|_| EngineError::ShardLost)?;
+            subs[index] = Some(Arc::new(result?));
+        }
+        let subs: Vec<Arc<DecompositionPlan>> = subs
+            .into_iter()
+            .map(|sub| sub.expect("every shard either reused or reported"))
+            .collect();
+        let plan = match wrap {
+            // Unwrapped single shard: the merged plan IS the raw sub-plan —
+            // share it instead of deep-copying (resubmit chains hold many
+            // of these).
+            None => Arc::clone(&subs[0]),
+            Some(_) => Arc::new(merge_subs(
+                wrap,
+                subs.iter().map(|sub| (**sub).clone()),
+                &remaps,
+            )),
+        };
+        Ok(ResolvedPlan {
+            request,
+            works,
+            solver_knobs,
+            subs,
+            plan,
+            reused_shards,
+        })
+    }
+
+    fn enqueue(&self, job: Job) {
+        self.queue
+            .as_ref()
+            .expect("the queue is open for the engine's whole lifetime")
+            .send(job)
+            .expect("workers outlive the engine and never hang up the queue");
+    }
+
+    /// Pass through untouched when the one shard already produces what a
+    /// direct `solve` would: any Prepared shard (`solve_with` reproduces
+    /// `solve` byte-identically — the core contract), or a whole-workload
+    /// OPQ shard for OpqBased. Everything else is wrapped under the
+    /// requested algorithm's label.
+    fn wrap_of(shards: &[Shard], request: &EngineRequest) -> Option<&'static str> {
+        match shards {
+            [Shard {
+                work: ShardWork::Prepared,
+                remap: ShardRemap::Offset(0),
+            }] => None,
+            [Shard {
+                work: ShardWork::Opq { .. },
+                remap: ShardRemap::Offset(0),
+            }] if request.algorithm == Algorithm::OpqBased => None,
+            _ => Some(plan_label(request.algorithm)),
+        }
+    }
+
     /// Splits a request into independent shards (see the crate docs).
     fn shard(&self, request: &EngineRequest) -> Vec<Shard> {
-        let opq_algorithm = matches!(
-            request.algorithm,
-            Algorithm::OpqBased | Algorithm::OpqExtended
-        );
+        let pass_through = Shard {
+            work: ShardWork::Prepared,
+            remap: ShardRemap::Offset(0),
+        };
+        // Custom solvers have unknown sharding semantics: run them whole.
+        let opq_algorithm = request.solver_override.is_none()
+            && matches!(
+                request.algorithm,
+                Algorithm::OpqBased | Algorithm::OpqExtended
+            );
         if !opq_algorithm {
-            return vec![Shard {
-                work: ShardWork::Direct,
-                remap: ShardRemap::Offset(0),
-            }];
+            return vec![pass_through];
         }
 
         if request.workload.is_homogeneous() {
@@ -338,7 +639,10 @@ impl Engine {
             let threshold = request.workload.threshold(0);
             // `n / 2 >= s` (not `n >= 2 * s`) so huge shard sizes cannot
             // overflow; chunks only form when at least two would result.
-            if let Some(target) = self.config.homogeneous_shard.filter(|&s| s >= 1 && n / 2 >= s)
+            if let Some(target) = self
+                .config
+                .homogeneous_shard
+                .filter(|&s| s >= 1 && n / 2 >= s)
             {
                 // Chunks as even as possible: k = ⌈n/target⌉ chunks whose
                 // sizes differ by at most one, assigned low-id-first.
@@ -379,13 +683,12 @@ impl Engine {
 
         // OpqBased on a heterogeneous workload: let the solver itself report
         // HeterogeneousUnsupported through the normal result path.
-        vec![Shard {
-            work: ShardWork::Direct,
-            remap: ShardRemap::Offset(0),
-        }]
+        vec![pass_through]
     }
 
-    /// Builds the closure one worker will run for `work`.
+    /// Builds the closure one worker will run for `work`. Each job is
+    /// unwind-safe at its boundary: a panicking solver becomes an
+    /// [`EngineError::WorkerPanicked`] result, never a wedged handle.
     fn make_job(
         &self,
         index: usize,
@@ -399,33 +702,86 @@ impl Engine {
                 let cache = Arc::clone(&self.cache);
                 let solver = self.config.solver.clone();
                 Box::new(move || {
-                    let theta = reliability::theta(threshold);
-                    let key = Fingerprint::new(Arc::clone(&bins), theta, &solver);
-                    let result = cache
-                        .get_or_try_insert_with(key, || solver.artifacts(&bins, theta))
-                        .map(|artifacts| solver.solve_with_artifacts(n, &artifacts, &bins));
+                    let result = guard_panics(AssertUnwindSafe(|| {
+                        let theta = reliability::theta(threshold);
+                        let key = CacheKey {
+                            algorithm: Algorithm::OpqBased,
+                            fingerprint: Fingerprint::new(Arc::clone(&bins), theta, &solver),
+                        };
+                        let artifacts =
+                            cache.get_or_try_insert_with(key, || solver.prepare(&bins, theta))?;
+                        let workload = Workload::homogeneous(n, threshold)?;
+                        Ok(solver.solve_with(artifacts.as_ref(), &workload, &bins)?)
+                    }));
                     let _ = result_tx.send((index, result));
                 })
             }
-            ShardWork::Direct => {
+            ShardWork::Prepared => {
                 let algorithm = request.algorithm;
                 let workload = request.workload.clone();
                 let bins = Arc::clone(&request.bins);
                 let seed = request.seed;
+                let cache = Arc::clone(&self.cache);
+                let solver_override = request.solver_override.clone();
                 Box::new(move || {
-                    let solver: Box<dyn DecompositionSolver + Send + Sync> = match algorithm {
-                        // The one randomized solver takes the request's seed.
-                        Algorithm::Baseline => Box::new(Baseline {
-                            config: BaselineConfig {
-                                seed,
-                                ..BaselineConfig::default()
+                    let result = guard_panics(AssertUnwindSafe(|| {
+                        let cacheable = solver_override.is_none();
+                        let solver: Arc<dyn PreparedSolver + Send + Sync> = match solver_override {
+                            Some(solver) => solver,
+                            // The one randomized solver takes the request's
+                            // seed; the seed shapes rounding, not artifacts,
+                            // so it stays out of the fingerprint.
+                            None => match algorithm {
+                                Algorithm::Baseline => Arc::new(Baseline {
+                                    config: BaselineConfig {
+                                        seed,
+                                        ..BaselineConfig::default()
+                                    },
+                                }),
+                                other => Arc::from(other.solver()),
                             },
-                        }),
-                        other => other.solver(),
-                    };
-                    let _ = result_tx.send((index, solver.solve(&workload, &bins)));
+                        };
+                        if !workload.is_homogeneous() && !solver.supports_heterogeneous() {
+                            // Surface the solver's own rejection without
+                            // preparing artifacts it could never use.
+                            return Ok(solver.solve(&workload, &bins)?);
+                        }
+                        let theta = reliability::theta(workload.max_threshold());
+                        let artifacts = if cacheable {
+                            let key = CacheKey {
+                                algorithm,
+                                fingerprint: Fingerprint::new(
+                                    Arc::clone(&bins),
+                                    theta,
+                                    solver.as_ref(),
+                                ),
+                            };
+                            cache.get_or_try_insert_with(key, || solver.prepare(&bins, theta))?
+                        } else {
+                            solver.prepare(&bins, theta)?
+                        };
+                        Ok(solver.solve_with(artifacts.as_ref(), &workload, &bins)?)
+                    }));
+                    let _ = result_tx.send((index, result));
                 })
             }
+        }
+    }
+}
+
+/// Runs `work`, converting an unwind into [`EngineError::WorkerPanicked`].
+fn guard_panics(
+    work: AssertUnwindSafe<impl FnOnce() -> Result<DecompositionPlan, EngineError>>,
+) -> Result<DecompositionPlan, EngineError> {
+    match catch_unwind(work) {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(EngineError::WorkerPanicked { message })
         }
     }
 }
@@ -447,9 +803,9 @@ fn worker_loop(jobs: &Arc<Mutex<Receiver<Job>>>) {
             guard.recv()
         };
         match job {
-            // A panicking solver must not take the worker down with it: the
-            // unwind drops the shard's result sender (the waiting handle
-            // sees `ShardLost`) and the worker moves on to the next job.
+            // Jobs guard their own unwinds (guard_panics), but a panic in
+            // the channel machinery itself must still not take the worker
+            // down: drop it and move to the next job.
             Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
             Err(_) => return, // queue hung up: engine is shutting down
         }
@@ -462,11 +818,14 @@ const _: () = {
     assert_send_sync::<Engine>();
     assert_send_sync::<EngineRequest>();
     assert_send_sync::<ArtifactCache>();
+    assert_send_sync::<ResolvedPlan>();
+    assert_send_sync::<WorkloadDelta>();
 };
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use slade_core::solver::DecompositionSolver;
 
     fn paper_bins() -> Arc<BinSet> {
         Arc::new(BinSet::paper_example())
@@ -612,5 +971,84 @@ mod tests {
             .unwrap();
         assert_eq!(plan_a, plan_a_again);
         assert!(plan_a.validate(&workload, &bins).unwrap().feasible);
+    }
+
+    /// A solver that panics on solve: the fault-injection vehicle for the
+    /// worker-panic tests.
+    #[derive(Debug)]
+    struct PanickingSolver;
+
+    impl slade_core::solver::DecompositionSolver for PanickingSolver {
+        fn name(&self) -> &'static str {
+            "Panicking"
+        }
+
+        fn solve(
+            &self,
+            _workload: &Workload,
+            _bins: &BinSet,
+        ) -> Result<DecompositionPlan, SladeError> {
+            panic!("injected solver panic");
+        }
+    }
+
+    impl PreparedSolver for PanickingSolver {}
+
+    #[test]
+    fn solver_panics_surface_as_worker_panicked_not_a_hang() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        let bins = paper_bins();
+        let request = EngineRequest::new(
+            Algorithm::Greedy,
+            Workload::homogeneous(4, 0.95).unwrap(),
+            Arc::clone(&bins),
+        )
+        .with_solver(Arc::new(PanickingSolver));
+        match engine.solve(request) {
+            Err(EngineError::WorkerPanicked { message }) => {
+                assert!(message.contains("injected solver panic"), "{message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        // The worker survived the unwind and keeps serving real requests.
+        let plan = engine
+            .solve(EngineRequest::new(
+                Algorithm::Greedy,
+                Workload::homogeneous(4, 0.95).unwrap(),
+                bins,
+            ))
+            .unwrap();
+        assert_eq!(plan.algorithm(), "Greedy");
+    }
+
+    #[test]
+    fn delta_apply_validates_and_rewrites_workloads() {
+        let homo = Workload::homogeneous(10, 0.9).unwrap();
+        let grown = WorkloadDelta::Resize(25).apply(&homo).unwrap();
+        assert_eq!(grown.len(), 25);
+        assert!(grown.is_homogeneous());
+
+        let hetero = Workload::heterogeneous(vec![0.5, 0.9, 0.7]).unwrap();
+        let shrunk = WorkloadDelta::Resize(2).apply(&hetero).unwrap();
+        assert_eq!(shrunk.len(), 2);
+        assert!(WorkloadDelta::Resize(5).apply(&hetero).is_err());
+
+        let retargeted = WorkloadDelta::SetThresholds(vec![(0, 0.9), (2, 0.9)])
+            .apply(&hetero)
+            .unwrap();
+        assert!(retargeted.is_homogeneous(), "all thresholds now 0.9");
+        assert!(WorkloadDelta::SetThresholds(vec![(9, 0.5)])
+            .apply(&hetero)
+            .is_err());
+
+        let appended = WorkloadDelta::Append(vec![0.6, 0.65]).apply(&homo).unwrap();
+        assert_eq!(appended.len(), 12);
+        assert_eq!(appended.threshold(11), 0.65);
+        assert!(WorkloadDelta::SetThresholds(vec![(0, 1.5)])
+            .apply(&homo)
+            .is_err());
     }
 }

@@ -1,12 +1,14 @@
-//! The engine's two determinism contracts, pinned end to end:
+//! The engine's determinism contracts, pinned end to end:
 //!
 //! 1. the same request batch produces byte-identical plans at `threads = 1`
 //!    and `threads = 8`, sharding and all;
 //! 2. a warm-cache solve returns a plan identical to the cold solve for the
-//!    same fingerprint.
+//!    same fingerprint — for **every** algorithm, not just OpqBased;
+//! 3. a [`WorkloadDelta`] resubmission returns a plan byte-identical to a
+//!    cold solve of the resulting workload.
 
 use slade_core::prelude::*;
-use slade_engine::{Engine, EngineConfig, EngineRequest};
+use slade_engine::{Engine, EngineConfig, EngineRequest, WorkloadDelta};
 use std::sync::Arc;
 
 /// A mixed batch exercising every sharding path: unsharded and chunked
@@ -136,6 +138,216 @@ fn warm_cache_solve_is_identical_to_cold_solve() {
         after_warm.hits > after_cold.hits,
         "second solve must hit the cache: {after_warm:?}"
     );
+}
+
+#[test]
+fn warm_cache_solves_are_identical_to_cold_for_every_algorithm() {
+    // The cache is algorithm-agnostic now: every algorithm's prepared
+    // artifacts round-trip through it, and warm results must stay
+    // byte-identical to cold ones in all cases.
+    let bins = Arc::new(BinSet::paper_example());
+    let homo = Workload::homogeneous(60, 0.95).unwrap();
+    let hetero = Workload::heterogeneous(vec![0.3, 0.55, 0.72, 0.9, 0.95]).unwrap();
+    let relaxed = Workload::homogeneous(9, 0.7).unwrap();
+    let tiny = Workload::homogeneous(3, 0.9).unwrap();
+    let cases = [
+        (Algorithm::OpqBased, homo.clone()),
+        (Algorithm::OpqExtended, hetero.clone()),
+        (Algorithm::Greedy, homo.clone()),
+        (Algorithm::Greedy, hetero.clone()),
+        (Algorithm::Baseline, homo),
+        (Algorithm::Relaxed, relaxed),
+        (Algorithm::Exact, tiny),
+    ];
+    for (algorithm, workload) in cases {
+        let engine = Engine::new(config(3));
+        let request = EngineRequest::new(algorithm, workload, Arc::clone(&bins));
+        let cold = engine.solve(request.clone()).unwrap();
+        let warm = engine.solve(request).unwrap();
+        assert_eq!(cold, warm, "{algorithm} warm plan diverged from cold");
+        assert_eq!(format!("{cold:?}"), format!("{warm:?}"), "{algorithm}");
+    }
+}
+
+#[test]
+fn cacheable_algorithms_hit_the_shared_cache_when_warm() {
+    let bins = Arc::new(BinSet::paper_example());
+    let homo = Workload::homogeneous(40, 0.95).unwrap();
+    let hetero = Workload::heterogeneous(vec![0.3, 0.55, 0.72, 0.9, 0.95]).unwrap();
+    for (algorithm, workload) in [
+        (Algorithm::OpqBased, homo.clone()),
+        (Algorithm::OpqExtended, hetero),
+        (Algorithm::Greedy, homo.clone()),
+        (Algorithm::Baseline, homo),
+    ] {
+        let engine = Engine::new(config(2));
+        let request = EngineRequest::new(algorithm, workload, Arc::clone(&bins));
+        engine.solve(request.clone()).unwrap();
+        let cold = engine.cache_stats();
+        engine.solve(request).unwrap();
+        let warm = engine.cache_stats();
+        assert!(
+            warm.hits > cold.hits,
+            "{algorithm} second solve must hit the cache: {warm:?}"
+        );
+        assert_eq!(warm.misses, cold.misses, "{algorithm} warmed twice");
+    }
+}
+
+#[test]
+fn resize_resubmit_equals_cold_solve_of_final_workload() {
+    let bins = Arc::new(BinSet::paper_example());
+    for algorithm in [Algorithm::OpqBased, Algorithm::Greedy, Algorithm::Baseline] {
+        let engine = Engine::new(config(3));
+        let request = EngineRequest::new(
+            algorithm,
+            Workload::homogeneous(300, 0.95).unwrap(),
+            Arc::clone(&bins),
+        )
+        .with_seed(11);
+        let resolved = engine.solve_resolved(request).unwrap();
+        assert_eq!(resolved.reused_shards(), 0);
+        for n in [500u32, 120, 300] {
+            let resubmitted = engine
+                .resubmit(&resolved, &WorkloadDelta::Resize(n))
+                .unwrap();
+            let cold = engine
+                .solve(
+                    EngineRequest::new(
+                        algorithm,
+                        Workload::homogeneous(n, 0.95).unwrap(),
+                        Arc::clone(&bins),
+                    )
+                    .with_seed(11),
+                )
+                .unwrap();
+            assert_eq!(*resubmitted.plan(), cold, "{algorithm} n = {n}");
+            assert_eq!(
+                format!("{:?}", resubmitted.plan()),
+                format!("{cold:?}"),
+                "{algorithm} n = {n}"
+            );
+        }
+        // A no-op resize reuses everything.
+        let unchanged = engine
+            .resubmit(&resolved, &WorkloadDelta::Resize(300))
+            .unwrap();
+        assert_eq!(unchanged.reused_shards(), unchanged.shards());
+        assert_eq!(*unchanged.plan(), *resolved.plan());
+    }
+}
+
+#[test]
+fn rethreshold_resubmit_rebuckets_and_reuses_untouched_buckets() {
+    let bins = Arc::new(BinSet::paper_example());
+    let engine = Engine::new(config(4));
+    // Four well-separated θ levels under θ_max = θ(0.95); moving one task
+    // between the two bottom buckets leaves every other bucket's (n, θ)
+    // shard unchanged.
+    let thresholds = vec![0.95, 0.95, 0.72, 0.72, 0.3, 0.3, 0.11, 0.11];
+    let request = EngineRequest::new(
+        Algorithm::OpqExtended,
+        Workload::heterogeneous(thresholds.clone()).unwrap(),
+        Arc::clone(&bins),
+    );
+    let resolved = engine.solve_resolved(request).unwrap();
+    let shards = resolved.shards();
+    assert!(shards >= 3, "spread must bucket into several shards");
+
+    let delta = WorkloadDelta::SetThresholds(vec![(6, 0.3)]);
+    let resubmitted = engine.resubmit(&resolved, &delta).unwrap();
+    // Only the buckets whose (size, ceiling) changed were re-solved.
+    assert!(
+        resubmitted.reused_shards() >= shards - 2,
+        "expected most buckets reused: {} of {}",
+        resubmitted.reused_shards(),
+        resubmitted.shards()
+    );
+    let mut final_thresholds = thresholds;
+    final_thresholds[6] = 0.3;
+    let cold = engine
+        .solve(EngineRequest::new(
+            Algorithm::OpqExtended,
+            Workload::heterogeneous(final_thresholds).unwrap(),
+            Arc::clone(&bins),
+        ))
+        .unwrap();
+    assert_eq!(*resubmitted.plan(), cold);
+    assert_eq!(format!("{:?}", resubmitted.plan()), format!("{cold:?}"));
+}
+
+#[test]
+fn resubmit_never_splices_sub_plans_from_a_differently_configured_engine() {
+    // A ResolvedPlan can outlive the engine that produced it. Handing it to
+    // an engine whose OPQ solver knobs differ must recompute every shard —
+    // splicing the foreign sub-plans in would break the
+    // byte-identical-to-cold-solve contract.
+    let bins = Arc::new(BinSet::paper_example());
+    let tight = Engine::new(EngineConfig {
+        threads: 2,
+        solver: OpqBased {
+            pool_size: 2,
+            dp_cap: 8,
+            ..OpqBased::default()
+        },
+        ..EngineConfig::default()
+    });
+    let default_knobs = Engine::new(config(2));
+    let request = EngineRequest::new(
+        Algorithm::OpqBased,
+        Workload::homogeneous(300, 0.95).unwrap(),
+        Arc::clone(&bins),
+    );
+    let from_tight = tight.solve_resolved(request.clone()).unwrap();
+
+    // No-op delta: on the SAME engine everything is reused...
+    let same = tight
+        .resubmit(&from_tight, &WorkloadDelta::Resize(300))
+        .unwrap();
+    assert_eq!(same.reused_shards(), same.shards());
+
+    // ...but a differently-knobbed engine must not reuse a single shard,
+    // and must return ITS OWN cold plan.
+    let cross = default_knobs
+        .resubmit(&from_tight, &WorkloadDelta::Resize(300))
+        .unwrap();
+    assert_eq!(
+        cross.reused_shards(),
+        0,
+        "foreign sub-plans were spliced in"
+    );
+    let cold = default_knobs.solve(request).unwrap();
+    assert_eq!(*cross.plan(), cold);
+}
+
+#[test]
+fn append_resubmit_equals_cold_solve_and_chains() {
+    let bins = Arc::new(BinSet::paper_example());
+    let engine = Engine::new(config(2));
+    let request = EngineRequest::new(
+        Algorithm::OpqExtended,
+        Workload::heterogeneous(vec![0.95, 0.5, 0.3]).unwrap(),
+        Arc::clone(&bins),
+    );
+    let resolved = engine.solve_resolved(request).unwrap();
+    // Chain two deltas: append tasks, then re-threshold one of them.
+    let appended = engine
+        .resubmit(&resolved, &WorkloadDelta::Append(vec![0.5, 0.95]))
+        .unwrap();
+    let retargeted = engine
+        .resubmit(&appended, &WorkloadDelta::SetThresholds(vec![(3, 0.3)]))
+        .unwrap();
+    let final_workload = Workload::heterogeneous(vec![0.95, 0.5, 0.3, 0.3, 0.95]).unwrap();
+    assert_eq!(retargeted.workload(), &final_workload);
+    let cold = engine
+        .solve(EngineRequest::new(
+            Algorithm::OpqExtended,
+            final_workload.clone(),
+            Arc::clone(&bins),
+        ))
+        .unwrap();
+    assert_eq!(*retargeted.plan(), cold);
+    assert!(cold.validate(&final_workload, &bins).unwrap().feasible);
 }
 
 #[test]

@@ -485,8 +485,8 @@ mod tests {
     #[test]
     fn greedy_handles_multicover_demands() {
         // Demand 3 on a single row with unit weights: needs 3 copies.
-        let p = CoveringProblem::new(vec![3.0], vec![SparseColumn::new(2.0, vec![(0, 1.0)])])
-            .unwrap();
+        let p =
+            CoveringProblem::new(vec![3.0], vec![SparseColumn::new(2.0, vec![(0, 1.0)])]).unwrap();
         let sol = p.greedy_multicover().unwrap();
         assert_eq!(sol.counts, vec![3.0]);
         assert!((sol.cost - 6.0).abs() < 1e-12);
@@ -514,8 +514,8 @@ mod tests {
     #[test]
     fn fractional_greedy_takes_saturating_steps() {
         // Demand 2.5 with weight 1: single column should step 2.5 exactly.
-        let p = CoveringProblem::new(vec![2.5], vec![SparseColumn::new(1.0, vec![(0, 1.0)])])
-            .unwrap();
+        let p =
+            CoveringProblem::new(vec![2.5], vec![SparseColumn::new(1.0, vec![(0, 1.0)])]).unwrap();
         let sol = p.fractional_greedy().unwrap();
         assert!((sol.counts[0] - 2.5).abs() < 1e-9);
     }
@@ -606,9 +606,7 @@ mod tests {
         // Random wide columns.
         for _ in 0..40 {
             let k = rng.random_range(2..6);
-            let mut rows: Vec<u32> = (0..k)
-                .map(|_| rng.random_range(0..n_rows as u32))
-                .collect();
+            let mut rows: Vec<u32> = (0..k).map(|_| rng.random_range(0..n_rows as u32)).collect();
             rows.sort_unstable();
             rows.dedup();
             let entries = rows

@@ -501,8 +501,11 @@ mod tests {
     #[test]
     fn negative_rhs_is_normalized() {
         // x >= 3 written as -x <= -3.
-        let lp = LinearProgram::minimize(vec![1.0])
-            .with(Constraint::new(vec![-1.0], Relation::Le, -3.0));
+        let lp = LinearProgram::minimize(vec![1.0]).with(Constraint::new(
+            vec![-1.0],
+            Relation::Le,
+            -3.0,
+        ));
         let sol = solve_opt(&lp);
         assert!((sol.objective - 3.0).abs() < 1e-8);
     }
@@ -518,8 +521,8 @@ mod tests {
     #[test]
     fn detects_unbounded() {
         // max x with only x >= 1.
-        let lp = LinearProgram::maximize(vec![1.0])
-            .with(Constraint::new(vec![1.0], Relation::Ge, 1.0));
+        let lp =
+            LinearProgram::maximize(vec![1.0]).with(Constraint::new(vec![1.0], Relation::Ge, 1.0));
         assert_eq!(lp.solve().unwrap(), LpOutcome::Unbounded);
     }
 
@@ -547,8 +550,11 @@ mod tests {
 
     #[test]
     fn dimension_mismatch_is_reported() {
-        let lp = LinearProgram::minimize(vec![1.0, 2.0])
-            .with(Constraint::new(vec![1.0], Relation::Ge, 1.0));
+        let lp = LinearProgram::minimize(vec![1.0, 2.0]).with(Constraint::new(
+            vec![1.0],
+            Relation::Ge,
+            1.0,
+        ));
         assert!(matches!(
             lp.solve(),
             Err(LpError::DimensionMismatch {
