@@ -1,0 +1,146 @@
+//! Loopback throughput of the `slade-server` network frontend:
+//!
+//! * **cold grid** — artifact cache disabled, every request performs real
+//!   enumeration + DP work: the floor the protocol adds its framing to;
+//! * **warm grid** — cache enabled and pre-warmed, so requests measure the
+//!   wire + session + `solve_with` path that a steady-state server runs;
+//! * **batch verb** — the whole grid as one `batch` request, amortizing
+//!   per-line round trips into a single protocol exchange.
+//!
+//! Requests go through a real TCP connection on 127.0.0.1, one synchronous
+//! round trip per request (the session serves sequentially, so this is the
+//! per-connection serving rate, not a pipelining stress test). Quick mode
+//! keeps the grid small for the CI smoke step; `SLADE_BENCH_FULL=1` sweeps
+//! the paper-scale grid. Results land in `BENCH_server.json` (see
+//! `slade_bench::report`) next to the engine and core trajectories.
+
+use slade_bench::harness::full_sweep;
+use slade_bench::report::{write_json, BenchRecord};
+use slade_bench::sweeps;
+use slade_engine::EngineConfig;
+use slade_server::{Client, Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+/// Timed repetitions per configuration; the best run is reported.
+const RUNS: u32 = 3;
+
+/// One solve line per (n, threshold) grid point.
+fn request_lines(full: bool) -> Vec<String> {
+    let mut lines = Vec::new();
+    for &n in sweeps::scale_grid(full) {
+        for &t in &sweeps::THRESHOLDS {
+            lines.push(format!("{{\"tasks\":{n},\"threshold\":{t}}}"));
+        }
+    }
+    lines
+}
+
+fn start_server(cache: usize) -> (Server, std::net::SocketAddr) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig {
+            cache_capacity: cache,
+            ..EngineConfig::default()
+        },
+        request_timeout: Duration::from_secs(600),
+    })
+    .expect("binding a loopback port");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+/// Requests/sec of the given mode, best of [`RUNS`] timed passes.
+fn bench_mode(cache: usize, warm: bool, lines: &[String]) -> f64 {
+    let (server, addr) = start_server(cache);
+    let shutdown = server.shutdown_handle();
+    let running = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).expect("connecting to the bench server");
+    client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .unwrap();
+    if warm {
+        // Untimed pass filling the artifact cache.
+        for line in lines {
+            let response = client.roundtrip(line).expect("warm-up round trip");
+            assert!(response.contains("\"ok\":true"), "{response}");
+        }
+    }
+
+    let mut best_rps: f64 = 0.0;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        for line in lines {
+            let response = client.roundtrip(line).expect("timed round trip");
+            debug_assert!(response.contains("\"ok\":true"), "{response}");
+        }
+        let rps = lines.len() as f64 / start.elapsed().as_secs_f64();
+        best_rps = best_rps.max(rps);
+    }
+
+    shutdown.shutdown();
+    running
+        .join()
+        .expect("server thread must not panic")
+        .expect("server must shut down cleanly");
+    best_rps
+}
+
+/// Requests/sec with the whole grid sent as a single `batch` verb.
+fn bench_batch_verb(lines: &[String]) -> f64 {
+    let (server, addr) = start_server(64);
+    let shutdown = server.shutdown_handle();
+    let running = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).expect("connecting to the bench server");
+    client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .unwrap();
+    let request = format!("{{\"op\":\"batch\",\"requests\":[{}]}}", lines.join(","));
+
+    let mut best_rps: f64 = 0.0;
+    for run in 0..=RUNS {
+        let start = Instant::now();
+        let response = client.roundtrip(&request).expect("batch round trip");
+        assert!(response.contains("\"ok\":true"), "{response}");
+        if run == 0 {
+            continue; // warm-up pass
+        }
+        let rps = lines.len() as f64 / start.elapsed().as_secs_f64();
+        best_rps = best_rps.max(rps);
+    }
+
+    shutdown.shutdown();
+    running
+        .join()
+        .expect("server thread must not panic")
+        .expect("server must shut down cleanly");
+    best_rps
+}
+
+fn record(name: &str, n: u64, rps: f64) -> BenchRecord {
+    BenchRecord::per_item(name, n, 1e9 / rps.max(f64::MIN_POSITIVE))
+}
+
+fn main() {
+    let full = full_sweep();
+    let lines = request_lines(full);
+    let n = lines.len() as u64;
+
+    let cold = bench_mode(0, false, &lines);
+    println!("server/solve/cold   {cold:>10.0} req/s over {n} loopback requests");
+    let warm = bench_mode(64, true, &lines);
+    println!(
+        "server/solve/warm   {warm:>10.0} req/s (warm/cold {:.2}x)",
+        warm / cold
+    );
+    let batch = bench_batch_verb(&lines);
+    println!("server/batch/warm   {batch:>10.0} req/s via one batch verb");
+
+    let records = vec![
+        record("server/solve/cold", n, cold),
+        record("server/solve/warm", n, warm).with_speedup(warm / cold),
+        record("server/batch/warm", n, batch).with_speedup(batch / cold),
+    ];
+    write_json("BENCH_server.json", &records).expect("writing BENCH_server.json");
+}

@@ -5,21 +5,28 @@
 //!                    [--thresholds T1,T2,...] [--bins l:r:c,l:r:c,...]
 //! slade-cli simulate [same flags] [--trials K] [--seed S]
 //! slade-cli batch    [--threads N] [--cache N]   (JSONL requests on stdin)
+//! slade-cli serve    [--addr HOST:PORT] [--threads N] [--cache N]
+//! slade-cli client   --connect HOST:PORT          (JSONL requests on stdin)
 //! slade-cli algorithms
 //! ```
 //!
 //! Defaults: the paper's Table-1 bin menu, 4 tasks, threshold 0.95, the
 //! OPQ-Based solver — i.e. Example 9 of the paper.
+//!
+//! JSON parsing and printing live in `slade_server::json` (shared with the
+//! server's wire protocol), so `batch` lines, `client` requests, and
+//! server responses all speak one dialect.
 
-mod json;
-
-use json::Json;
 use slade_core::prelude::*;
 use slade_crowd::{simulate, SimulationConfig};
 use slade_engine::{Engine, EngineConfig, EngineRequest};
+use slade_server::json::{member, Json};
+use slade_server::{protocol, Client, Server, ServerConfig};
 use std::io::Read;
+use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "\
 slade-cli — SLADE: smart large-scale task decomposition in crowdsourcing
@@ -31,6 +38,8 @@ COMMANDS:
     solve        Decompose a workload and print the plan and its audit
     simulate     Solve, then execute the plan on the marketplace simulator
     batch        Solve a stream of JSONL requests from stdin concurrently
+    serve        Run the decomposition server (line-delimited JSON over TCP)
+    client       Send JSONL requests from stdin to a running server
     algorithms   List available algorithms
 
 OPTIONS (solve, simulate):
@@ -51,12 +60,27 @@ OPTIONS (batch):
     --reuse                 Append a final JSON line with artifact-reuse
                             statistics (cache hits/misses/entries)
 
+OPTIONS (serve):
+    --addr HOST:PORT        Address to bind [default: 127.0.0.1:7878];
+                            port 0 picks an ephemeral port
+    --threads N             Engine worker threads [default: available parallelism]
+    --cache N               Artifact-cache capacity in entries, 0 disables
+                            [default: 64]
+    --timeout-secs S        Per-request solve deadline [default: 60]
+
+OPTIONS (client):
+    --connect HOST:PORT     Server to talk to (required). Requests are read
+                            from stdin (one JSON object per line — the same
+                            lines `batch` accepts, plus the protocol verbs
+                            solve/batch/resubmit/stats/shutdown); responses
+                            print one per line in request order.
+
 Each batch request is one JSON object per line; all fields optional:
     {\"algorithm\": \"opq-extended\", \"tasks\": 1000, \"threshold\": 0.95,
      \"thresholds\": [0.5, 0.9], \"bins\": [[1, 0.9, 0.1]], \"seed\": 7}
 One JSON result per request is printed in input order, e.g.
-    {\"request\": 0, \"algorithm\": \"opq-based\", \"tasks\": 1000,
-     \"bins_posted\": 667, \"cost\": 160.1, \"feasible\": true}
+    {\"request\":0,\"algorithm\":\"opq-based\",\"tasks\":1000,
+     \"bins_posted\":667,\"cost\":160.1,\"feasible\":true}
 ";
 
 fn main() -> ExitCode {
@@ -124,11 +148,16 @@ fn run(args: &[String]) -> Result<String, CliError> {
             // Validate flags before touching stdin, so a bad invocation on a
             // TTY errors immediately instead of blocking for EOF.
             parse_batch_options(&args[1..])?;
-            let mut input = String::new();
-            std::io::stdin()
-                .read_to_string(&mut input)
-                .map_err(|e| CliError::Solve(format!("reading stdin: {e}")))?;
-            run_batch(&args[1..], &input)
+            run_batch(&args[1..], &read_stdin()?)
+        }
+        "serve" => run_serve(&args[1..], &|addr| {
+            // Announced up front (run_serve blocks until shutdown), on
+            // stderr so stdout stays clean for scripting.
+            eprintln!("slade-server listening on {addr}");
+        }),
+        "client" => {
+            parse_client_options(&args[1..])?;
+            run_client(&args[1..], &read_stdin()?)
         }
         "simulate" => {
             let opts = parse_options(&args[1..])?;
@@ -183,28 +212,23 @@ fn run_batch(args: &[String], input: &str) -> Result<String, CliError> {
         if i > 0 {
             out.push('\n');
         }
+        // Result lines assemble from the same summary members (and print
+        // through the same serializer) as the server's responses.
+        let mut members = vec![member("request", Json::number(i as f64))];
         match handle.wait() {
             Ok(plan) => {
                 let audit = plan
                     .validate(&request.workload, &request.bins)
                     .expect("engine plans are structurally valid");
-                out.push_str(&format!(
-                    "{{\"request\":{i},\"algorithm\":\"{}\",\"tasks\":{},\
-                     \"bins_posted\":{},\"cost\":{:.6},\"feasible\":{}}}",
+                members.extend(protocol::plan_summary_members(
                     request.algorithm,
-                    request.workload.len(),
-                    audit.bins_posted,
-                    audit.total_cost,
-                    audit.feasible,
+                    &request.workload,
+                    &audit,
                 ));
             }
-            Err(e) => {
-                out.push_str(&format!(
-                    "{{\"request\":{i},\"error\":\"{}\"}}",
-                    json::escape(&e.to_string())
-                ));
-            }
+            Err(e) => members.push(member("error", Json::string(e.to_string()))),
         }
+        out.push_str(&Json::Object(members).to_string());
     }
     if reuse {
         // How much instance-independent work the two-phase pipeline shared
@@ -213,15 +237,132 @@ fn run_batch(args: &[String], input: &str) -> Result<String, CliError> {
         if !requests.is_empty() {
             out.push('\n');
         }
-        out.push_str(&format!(
-            "{{\"reuse\":{{\"cache_hits\":{},\"cache_misses\":{},\
-             \"cache_entries\":{},\"cache_capacity\":{},\"requests\":{}}}}}",
-            stats.hits,
-            stats.misses,
-            stats.entries,
-            stats.capacity,
-            requests.len(),
-        ));
+        let line = Json::Object(vec![member(
+            "reuse",
+            Json::Object(vec![
+                member("cache_hits", Json::number(stats.hits as f64)),
+                member("cache_misses", Json::number(stats.misses as f64)),
+                member("cache_entries", Json::number(stats.entries as f64)),
+                member("cache_capacity", Json::number(stats.capacity as f64)),
+                member("requests", Json::number(requests.len() as f64)),
+            ]),
+        )]);
+        out.push_str(&line.to_string());
+    }
+    Ok(out)
+}
+
+fn read_stdin() -> Result<String, CliError> {
+    let mut input = String::new();
+    std::io::stdin()
+        .read_to_string(&mut input)
+        .map_err(|e| CliError::Solve(format!("reading stdin: {e}")))?;
+    Ok(input)
+}
+
+/// Runs the `serve` subcommand: bind, announce the (possibly ephemeral)
+/// address through `announce`, then block in the accept loop until a
+/// client sends the `shutdown` verb.
+fn run_serve(args: &[String], announce: &dyn Fn(SocketAddr)) -> Result<String, CliError> {
+    let config = parse_serve_options(args)?;
+    let addr = config.addr.clone();
+    let server =
+        Server::bind(config).map_err(|e| CliError::Solve(format!("binding {addr}: {e}")))?;
+    announce(server.local_addr());
+    server
+        .run()
+        .map_err(|e| CliError::Solve(format!("server error: {e}")))?;
+    Ok("server: drained and shut down cleanly".to_string())
+}
+
+fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
+    let defaults = EngineConfig::default();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut threads = defaults.threads;
+    let mut cache = defaults.cache_capacity;
+    let mut timeout_secs: u64 = 60;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--threads" => {
+                threads = parse_num(&value("--threads")?, "--threads")?;
+                if threads == 0 {
+                    return Err(CliError::Usage("--threads must be at least 1".into()));
+                }
+            }
+            "--cache" => cache = parse_num(&value("--cache")?, "--cache")?,
+            "--timeout-secs" => {
+                timeout_secs = parse_num(&value("--timeout-secs")?, "--timeout-secs")?;
+                if timeout_secs == 0 {
+                    return Err(CliError::Usage("--timeout-secs must be at least 1".into()));
+                }
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown flag `{other}` for `serve`"
+                )))
+            }
+        }
+    }
+    Ok(ServerConfig {
+        addr,
+        engine: EngineConfig {
+            threads,
+            cache_capacity: cache,
+            ..EngineConfig::default()
+        },
+        request_timeout: Duration::from_secs(timeout_secs),
+    })
+}
+
+fn parse_client_options(args: &[String]) -> Result<String, CliError> {
+    let mut connect: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--connect" => {
+                connect = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage("--connect needs a value".to_string()))?,
+                );
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown flag `{other}` for `client`"
+                )))
+            }
+        }
+    }
+    connect.ok_or_else(|| CliError::Usage("`client` needs --connect HOST:PORT".into()))
+}
+
+/// Runs the `client` subcommand over `input` (stdin, injectable for
+/// tests): every nonempty line goes to the server as-is, every response
+/// line prints in request order — the network twin of `batch`.
+fn run_client(args: &[String], input: &str) -> Result<String, CliError> {
+    let addr = parse_client_options(args)?;
+    let mut client = Client::connect(&addr)
+        .map_err(|e| CliError::Solve(format!("connecting to {addr}: {e}")))?;
+    let mut out = String::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let response = client
+            .roundtrip(line)
+            .map_err(|e| CliError::Solve(format!("talking to {addr}: {e}")))?;
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&response);
     }
     Ok(out)
 }
@@ -261,148 +402,18 @@ fn parse_batch_options(args: &[String]) -> Result<(usize, usize, bool), CliError
     Ok((threads, cache, reuse))
 }
 
-/// Parses one JSONL request. `line_no` is 1-based and names the offending
-/// line in every error.
+/// Parses one JSONL request through the shared protocol parser
+/// (`slade_server::protocol` — the same code the server runs). `line_no`
+/// is 1-based and names the offending line in every error.
 fn parse_request(
     line_no: usize,
     line: &str,
     default_bins: &Arc<BinSet>,
 ) -> Result<EngineRequest, CliError> {
-    let value = json::parse(line)
+    let value = slade_server::json::parse(line)
         .map_err(|e| CliError::Usage(format!("line {line_no}: invalid JSON: {e}")))?;
-    let Some(members) = value.members() else {
-        return Err(CliError::Usage(format!(
-            "line {line_no}: expected a JSON object, got {}",
-            value.type_name()
-        )));
-    };
-    for (key, _) in members {
-        if !matches!(
-            key.as_str(),
-            "algorithm" | "tasks" | "threshold" | "thresholds" | "bins" | "seed"
-        ) {
-            return Err(CliError::Usage(format!(
-                "line {line_no}: unknown field `{key}` (expected algorithm, \
-                 tasks, threshold, thresholds, bins, seed)"
-            )));
-        }
-    }
-
-    let algorithm = match value.get("algorithm") {
-        None => Algorithm::OpqBased,
-        Some(v) => v
-            .as_str()
-            .ok_or_else(|| {
-                CliError::Usage(format!(
-                    "line {line_no}: `algorithm` must be a string, got {}",
-                    v.type_name()
-                ))
-            })?
-            .parse()
-            .map_err(|e| CliError::Usage(format!("line {line_no}: {e}")))?,
-    };
-
-    let bins = match value.get("bins") {
-        None => Arc::clone(default_bins),
-        Some(v) => {
-            let rows = v.as_array().ok_or_else(|| {
-                CliError::Usage(format!(
-                    "line {line_no}: `bins` must be an array of [l, r, c] triples"
-                ))
-            })?;
-            let mut triples = Vec::with_capacity(rows.len());
-            for row in rows {
-                let fields = row.as_array().unwrap_or(&[]);
-                let [l, r, c] = fields else {
-                    return Err(CliError::Usage(format!(
-                        "line {line_no}: each bin must be an [l, r, c] triple"
-                    )));
-                };
-                triples.push((
-                    json_u32(l, line_no, "bin cardinality")?,
-                    json_f64(r, line_no, "bin confidence")?,
-                    json_f64(c, line_no, "bin cost")?,
-                ));
-            }
-            Arc::new(
-                BinSet::new(triples)
-                    .map_err(|e| CliError::Usage(format!("line {line_no}: {e}")))?,
-            )
-        }
-    };
-
-    let workload = match value.get("thresholds") {
-        Some(v) => {
-            // Unlike the CLI flags (where --thresholds documents that it
-            // overrides --tasks/--threshold), a JSON request mixing both
-            // forms is rejected: silently dropping a field would contradict
-            // the parser's strictness everywhere else.
-            for conflicting in ["tasks", "threshold"] {
-                if value.get(conflicting).is_some() {
-                    return Err(CliError::Usage(format!(
-                        "line {line_no}: `thresholds` conflicts with `{conflicting}`; \
-                         give one or the other"
-                    )));
-                }
-            }
-            let items = v.as_array().ok_or_else(|| {
-                CliError::Usage(format!(
-                    "line {line_no}: `thresholds` must be an array of numbers"
-                ))
-            })?;
-            let thresholds = items
-                .iter()
-                .map(|t| json_f64(t, line_no, "threshold"))
-                .collect::<Result<Vec<f64>, _>>()?;
-            Workload::heterogeneous(thresholds)
-        }
-        None => {
-            let tasks = match value.get("tasks") {
-                None => 4,
-                Some(v) => json_u32(v, line_no, "tasks")?,
-            };
-            let threshold = match value.get("threshold") {
-                None => 0.95,
-                Some(v) => json_f64(v, line_no, "threshold")?,
-            };
-            Workload::homogeneous(tasks, threshold)
-        }
-    }
-    .map_err(|e| CliError::Usage(format!("line {line_no}: {e}")))?;
-
-    let seed = match value.get("seed") {
-        None => 0xC0FFEE,
-        Some(v) => {
-            let x = json_f64(v, line_no, "seed")?;
-            if x < 0.0 || x.fract() != 0.0 || x > 9.007_199_254_740_992e15 {
-                return Err(CliError::Usage(format!(
-                    "line {line_no}: `seed` must be a non-negative integer, got {x}"
-                )));
-            }
-            x as u64
-        }
-    };
-
-    Ok(EngineRequest::new(algorithm, workload, bins).with_seed(seed))
-}
-
-fn json_f64(value: &Json, line_no: usize, what: &str) -> Result<f64, CliError> {
-    value.as_f64().ok_or_else(|| {
-        CliError::Usage(format!(
-            "line {line_no}: {what} must be a number, got {}",
-            value.type_name()
-        ))
-    })
-}
-
-fn json_u32(value: &Json, line_no: usize, what: &str) -> Result<u32, CliError> {
-    let x = json_f64(value, line_no, what)?;
-    if x < 0.0 || x.fract() != 0.0 || x > f64::from(u32::MAX) {
-        return Err(CliError::Usage(format!(
-            "line {line_no}: {what} must be a non-negative integer, got {x}"
-        )));
-    }
-    Ok(x as u32)
+    protocol::parse_engine_request(&value, default_bins, &[])
+        .map_err(|e| CliError::Usage(format!("line {line_no}: {e}")))
 }
 
 fn solve(opts: &Options) -> Result<DecompositionPlan, CliError> {
@@ -610,11 +621,14 @@ mod tests {
 
     #[test]
     fn batch_default_request_reproduces_example9() {
+        // The cost prints in shortest-round-trip form — the exact
+        // accumulated double (0.24+0.24+0.1+0.1), not a rounded 0.680000:
+        // parse(output) gives back the bit-identical value.
         let out = run_batch(&argv("--threads 2"), "{}\n").unwrap();
         assert_eq!(
             out,
             "{\"request\":0,\"algorithm\":\"opq-based\",\"tasks\":4,\
-             \"bins_posted\":4,\"cost\":0.680000,\"feasible\":true}"
+             \"bins_posted\":4,\"cost\":0.6799999999999999,\"feasible\":true}"
         );
     }
 
@@ -764,6 +778,71 @@ mod tests {
         // An empty stream still reports (empty) stats.
         let empty = run_batch(&argv("--reuse"), "").unwrap();
         assert!(empty.starts_with("{\"reuse\""), "{empty}");
+    }
+
+    #[test]
+    fn serve_and_client_round_trip_over_a_real_socket() {
+        use std::sync::mpsc;
+        use std::thread;
+        use std::time::Duration;
+
+        // Start the server through the CLI path on an ephemeral port; the
+        // announce hook hands the bound address to the test.
+        let (tx, rx) = mpsc::channel();
+        let serving = thread::spawn(move || {
+            run_serve(
+                &argv("--addr 127.0.0.1:0 --threads 2 --cache 8"),
+                &move |a| {
+                    tx.send(a).unwrap();
+                },
+            )
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("server must announce its address");
+
+        // The same JSONL lines `batch` accepts, plus protocol verbs; the
+        // shutdown verb also stops the server, so `run_serve` returns.
+        let input = format!(
+            "{}\n{}\n{}\n{}\n",
+            r#"{"tasks": 4, "threshold": 0.95}"#,
+            r#"{"op":"solve","id":"w","algorithm":"greedy","tasks":6}"#,
+            r#"{"op":"resubmit","id":"w","delta":{"resize":12}}"#,
+            r#"{"op":"shutdown"}"#,
+        );
+        let out = run_client(&argv(&format!("--connect {addr}")), &input).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        assert!(
+            lines[0].contains("\"tasks\":4") && lines[0].contains("\"feasible\":true"),
+            "{out}"
+        );
+        assert!(lines[1].contains("\"id\":\"w\"") && lines[1].contains("greedy"));
+        assert!(lines[2].contains("\"tasks\":12"), "{out}");
+        assert!(lines[3].contains("\"op\":\"shutdown\""), "{out}");
+
+        let summary = serving.join().unwrap().unwrap();
+        assert!(summary.contains("shut down cleanly"), "{summary}");
+    }
+
+    #[test]
+    fn serve_and_client_flag_errors_are_usage_errors() {
+        for bad in [
+            "serve --frobnicate",
+            "serve --threads 0",
+            "serve --timeout-secs 0",
+            "serve --addr",
+            "client",
+            "client --port 80",
+        ] {
+            assert!(
+                matches!(run(&argv(bad)), Err(CliError::Usage(_))),
+                "`{bad}` must be a usage error"
+            );
+        }
+        // A client pointed at nothing is a solve-stage failure, not usage.
+        let err = run_client(&argv("--connect 127.0.0.1:9"), "{}\n").unwrap_err();
+        assert!(matches!(err, CliError::Solve(_)), "{err:?}");
     }
 
     #[test]

@@ -49,6 +49,17 @@
 //! A panicking solver cannot wedge a handle: workers catch unwinds at the
 //! job boundary and surface them as [`EngineError::WorkerPanicked`].
 //!
+//! ## Lifecycle
+//!
+//! Services built on top (the `slade-server` network frontend) share the
+//! engine behind an `Arc` and need bounded waits: [`Engine::shutdown`]
+//! drains already-queued shards deterministically and then rejects new
+//! work with [`EngineError::ShutDown`], and every blocking wait has a
+//! timeout-aware twin ([`PlanHandle::wait_timeout`],
+//! [`Engine::solve_resolved_timeout`], [`Engine::resubmit_timeout`])
+//! returning [`EngineError::Timeout`] — the abandoned shards finish in the
+//! pool, so a stuck request costs at most its deadline, never a thread.
+//!
 //! ## Quickstart
 //!
 //! ```

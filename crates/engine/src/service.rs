@@ -14,9 +14,10 @@ use slade_core::task::{TaskId, Workload};
 use slade_core::SladeError;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
 /// Configuration of an [`Engine`].
 #[derive(Debug, Clone)]
@@ -136,6 +137,17 @@ pub enum EngineError {
     /// A shard's worker disappeared before delivering a result (the engine
     /// shut down underneath the handle).
     ShardLost,
+    /// The engine had already been [shut down](Engine::shutdown) when the
+    /// request was submitted, so no shard was ever queued.
+    ShutDown,
+    /// A timeout-aware wait ([`PlanHandle::wait_timeout`],
+    /// [`Engine::solve_resolved_timeout`], [`Engine::resubmit_timeout`])
+    /// gave up before every shard reported. The shards keep running in the
+    /// pool; only this wait abandoned them.
+    Timeout {
+        /// The deadline that elapsed.
+        after: Duration,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -147,6 +159,12 @@ impl fmt::Display for EngineError {
             }
             EngineError::ShardLost => {
                 write!(f, "a worker disappeared before delivering its shard")
+            }
+            EngineError::ShutDown => {
+                write!(f, "the engine was shut down before the request could run")
+            }
+            EngineError::Timeout { after } => {
+                write!(f, "the solve did not finish within {after:?}")
             }
         }
     }
@@ -232,6 +250,36 @@ fn merge_subs(
     plan
 }
 
+/// A wait deadline: the instant to give up at, plus the originally requested
+/// duration (carried into [`EngineError::Timeout`] for the error message).
+type Deadline = (Instant, Duration);
+
+/// `timeout` from now, or `None` (= wait forever) if the addition overflows
+/// the `Instant` domain — a practically-infinite timeout means "no deadline".
+fn deadline_after(timeout: Duration) -> Option<Deadline> {
+    Instant::now().checked_add(timeout).map(|at| (at, timeout))
+}
+
+/// One `recv` against an optional deadline; shared by every wait path so
+/// blocking and timeout-aware waits can never diverge in their error
+/// mapping.
+fn recv_shard(
+    rx: &Receiver<ShardResult>,
+    deadline: Option<Deadline>,
+) -> Result<ShardResult, EngineError> {
+    match deadline {
+        None => rx.recv().map_err(|_| EngineError::ShardLost),
+        Some((at, after)) => {
+            let remaining = at.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok(result) => Ok(result),
+                Err(RecvTimeoutError::Timeout) => Err(EngineError::Timeout { after }),
+                Err(RecvTimeoutError::Disconnected) => Err(EngineError::ShardLost),
+            }
+        }
+    }
+}
+
 /// A blocking handle to one submitted request.
 ///
 /// Dropping the handle without calling [`PlanHandle::wait`] abandons the
@@ -248,6 +296,9 @@ pub struct PlanHandle {
     /// so engine results compare equal (label included) to the sequential
     /// solver's whenever sharding does not change the plan.
     wrap: Option<&'static str>,
+    /// Set when the engine was already shut down at submit time: at least
+    /// one shard was never queued, so the handle can only fail.
+    shut_down: bool,
 }
 
 impl PlanHandle {
@@ -255,10 +306,27 @@ impl PlanHandle {
     /// shard order (never in completion order — that is what keeps the
     /// result independent of scheduling).
     pub fn wait(self) -> Result<DecompositionPlan, EngineError> {
+        self.collect(None)
+    }
+
+    /// Like [`PlanHandle::wait`], but gives up with [`EngineError::Timeout`]
+    /// once `timeout` has elapsed across *all* shards. The shards themselves
+    /// keep running in the pool (they are already queued); only their
+    /// results are abandoned — which is exactly what a network frontend
+    /// needs so one stuck request cannot wedge its serving thread.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<DecompositionPlan, EngineError> {
+        let deadline = deadline_after(timeout);
+        self.collect(deadline)
+    }
+
+    fn collect(self, deadline: Option<Deadline>) -> Result<DecompositionPlan, EngineError> {
+        if self.shut_down {
+            return Err(EngineError::ShutDown);
+        }
         let shards = self.remaps.len();
         let mut subs: Vec<Option<DecompositionPlan>> = (0..shards).map(|_| None).collect();
         for _ in 0..shards {
-            let (index, result) = self.rx.recv().map_err(|_| EngineError::ShardLost)?;
+            let (index, result) = recv_shard(&self.rx, deadline)?;
             subs[index] = Some(result?);
         }
         let subs = subs
@@ -376,6 +444,16 @@ impl ResolvedPlan {
         &self.request.workload
     }
 
+    /// The bin menu the plan was solved against (deltas never change it).
+    pub fn bins(&self) -> &Arc<BinSet> {
+        &self.request.bins
+    }
+
+    /// The algorithm that produced the plan.
+    pub fn algorithm(&self) -> Algorithm {
+        self.request.algorithm
+    }
+
     /// How many shards of this solve were reused verbatim from the prior
     /// resolve instead of being recomputed (always `0` for a fresh
     /// [`Engine::solve_resolved`]).
@@ -391,13 +469,16 @@ impl ResolvedPlan {
 
 /// The concurrent decomposition service; see the crate docs for the design.
 ///
-/// Dropping the engine closes the job queue and joins every worker, so
-/// already-queued shards finish first (outstanding [`PlanHandle`]s stay
-/// valid during the drop).
+/// [`Engine::shutdown`] (or dropping the engine) closes the job queue and
+/// joins every worker, so already-queued shards finish first (outstanding
+/// [`PlanHandle`]s stay valid across the shutdown).
 pub struct Engine {
-    /// `Some` while accepting work; taken on drop to hang up the queue.
-    queue: Option<SyncSender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    /// `Some` while accepting work; taken by [`Engine::shutdown`] to hang up
+    /// the queue. Behind a mutex so services sharing the engine by `Arc` can
+    /// shut it down through `&self`.
+    queue: Mutex<Option<SyncSender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
     cache: Arc<ArtifactCache>,
     config: EngineConfig,
 }
@@ -407,7 +488,8 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Self {
         let (queue, jobs) = sync_channel::<Job>(config.queue_capacity.max(1));
         let jobs = Arc::new(Mutex::new(jobs));
-        let workers = (0..config.threads.max(1))
+        let threads = config.threads.max(1);
+        let workers = (0..threads)
             .map(|i| {
                 let jobs = Arc::clone(&jobs);
                 thread::Builder::new()
@@ -418,16 +500,43 @@ impl Engine {
             .collect();
         let cache = Arc::new(ArtifactCache::new(config.cache_capacity));
         Engine {
-            queue: Some(queue),
-            workers,
+            queue: Mutex::new(Some(queue)),
+            workers: Mutex::new(workers),
+            threads,
             cache,
             config,
         }
     }
 
-    /// Number of worker threads in the pool.
+    /// Number of worker threads the pool was spawned with.
     pub fn threads(&self) -> usize {
-        self.workers.len()
+        self.threads
+    }
+
+    /// Hangs up the job queue and joins every worker, draining already
+    /// queued shards first — so the drain is deterministic: everything
+    /// submitted before the call completes, and outstanding [`PlanHandle`]s
+    /// deliver their results as usual. Requests submitted *after* shutdown
+    /// fail with [`EngineError::ShutDown`]. Idempotent, and callable through
+    /// a shared `Arc<Engine>` (it only needs `&self`).
+    pub fn shutdown(&self) {
+        drop(self.queue_slot().take()); // hang up; workers drain and exit
+        let mut workers = self.workers.lock().unwrap_or_else(|p| p.into_inner());
+        for worker in workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    /// Whether [`Engine::shutdown`] has run.
+    pub fn is_shut_down(&self) -> bool {
+        self.queue_slot().is_none()
+    }
+
+    fn queue_slot(&self) -> MutexGuard<'_, Option<SyncSender<Job>>> {
+        // Senders never panic while holding this lock except through a
+        // `send` unwind, which only happens when the receiver is gone —
+        // i.e. during teardown, when the queue state no longer matters.
+        self.queue.lock().unwrap_or_else(|p| p.into_inner())
     }
 
     /// Snapshot of the artifact cache's hit/miss/occupancy counters.
@@ -444,14 +553,17 @@ impl Engine {
         let wrap = Self::wrap_of(&shards, &request);
         let (result_tx, result_rx) = channel::<ShardResult>();
         let mut remaps = Vec::with_capacity(shards.len());
+        let mut shut_down = false;
         for (index, shard) in shards.into_iter().enumerate() {
             remaps.push(shard.remap);
-            self.enqueue(self.make_job(index, shard.work, &request, result_tx.clone()));
+            shut_down |=
+                !self.enqueue(self.make_job(index, shard.work, &request, result_tx.clone()));
         }
         PlanHandle {
             rx: result_rx,
             remaps,
             wrap,
+            shut_down,
         }
     }
 
@@ -474,7 +586,18 @@ impl Engine {
     /// [`WorkloadDelta`]s can be applied incrementally with
     /// [`Engine::resubmit`]. The plan is identical to [`Engine::solve`]'s.
     pub fn solve_resolved(&self, request: EngineRequest) -> Result<ResolvedPlan, EngineError> {
-        self.run_resolved(request, None)
+        self.run_resolved(request, None, None)
+    }
+
+    /// [`Engine::solve_resolved`] with a deadline: fails with
+    /// [`EngineError::Timeout`] if the shards have not all reported within
+    /// `timeout` (they keep running; their results are abandoned).
+    pub fn solve_resolved_timeout(
+        &self,
+        request: EngineRequest,
+        timeout: Duration,
+    ) -> Result<ResolvedPlan, EngineError> {
+        self.run_resolved(request, None, deadline_after(timeout))
     }
 
     /// Applies `delta` to `prior`'s workload and re-solves, reusing every
@@ -490,10 +613,30 @@ impl Engine {
         prior: &ResolvedPlan,
         delta: &WorkloadDelta,
     ) -> Result<ResolvedPlan, EngineError> {
+        self.run_resubmit(prior, delta, None)
+    }
+
+    /// [`Engine::resubmit`] with a deadline, mirroring
+    /// [`Engine::solve_resolved_timeout`].
+    pub fn resubmit_timeout(
+        &self,
+        prior: &ResolvedPlan,
+        delta: &WorkloadDelta,
+        timeout: Duration,
+    ) -> Result<ResolvedPlan, EngineError> {
+        self.run_resubmit(prior, delta, deadline_after(timeout))
+    }
+
+    fn run_resubmit(
+        &self,
+        prior: &ResolvedPlan,
+        delta: &WorkloadDelta,
+        deadline: Option<Deadline>,
+    ) -> Result<ResolvedPlan, EngineError> {
         let workload = delta.apply(&prior.request.workload)?;
         let mut request = prior.request.clone();
         request.workload = workload;
-        self.run_resolved(request, Some(prior))
+        self.run_resolved(request, Some(prior), deadline)
     }
 
     /// The knob words of this engine's OPQ-shard solver; raw OPQ sub-plans
@@ -510,6 +653,7 @@ impl Engine {
         &self,
         request: EngineRequest,
         prior: Option<&ResolvedPlan>,
+        deadline: Option<Deadline>,
     ) -> Result<ResolvedPlan, EngineError> {
         let shards = self.shard(&request);
         let wrap = Self::wrap_of(&shards, &request);
@@ -555,7 +699,14 @@ impl Engine {
                 ));
                 reused_shards += 1;
             } else {
-                self.enqueue(self.make_job(index, shard.work.clone(), &request, result_tx.clone()));
+                if !self.enqueue(self.make_job(
+                    index,
+                    shard.work.clone(),
+                    &request,
+                    result_tx.clone(),
+                )) {
+                    return Err(EngineError::ShutDown);
+                }
                 outstanding += 1;
             }
             works.push(shard.work);
@@ -563,7 +714,7 @@ impl Engine {
         }
 
         for _ in 0..outstanding {
-            let (index, result) = result_rx.recv().map_err(|_| EngineError::ShardLost)?;
+            let (index, result) = recv_shard(&result_rx, deadline)?;
             subs[index] = Some(Arc::new(result?));
         }
         let subs: Vec<Arc<DecompositionPlan>> = subs
@@ -591,12 +742,21 @@ impl Engine {
         })
     }
 
-    fn enqueue(&self, job: Job) {
-        self.queue
-            .as_ref()
-            .expect("the queue is open for the engine's whole lifetime")
-            .send(job)
-            .expect("workers outlive the engine and never hang up the queue");
+    /// Queues `job`, returning whether it was accepted (`false` once the
+    /// engine is shut down). Blocks while the queue is full (backpressure);
+    /// the lock is held across the send, so [`Engine::shutdown`] waits for
+    /// in-flight submissions instead of racing them.
+    fn enqueue(&self, job: Job) -> bool {
+        let guard = self.queue_slot();
+        match guard.as_ref() {
+            Some(queue) => {
+                queue
+                    .send(job)
+                    .expect("workers only hang up after shutdown takes the sender");
+                true
+            }
+            None => false,
+        }
     }
 
     /// Pass through untouched when the one shard already produces what a
@@ -788,10 +948,7 @@ fn guard_panics(
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        drop(self.queue.take()); // hang up; workers drain the queue and exit
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -1022,6 +1179,131 @@ mod tests {
             ))
             .unwrap();
         assert_eq!(plan.algorithm(), "Greedy");
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs_then_rejects_new_requests() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            queue_capacity: 4,
+            ..EngineConfig::default()
+        });
+        let bins = paper_bins();
+        let handles = engine.submit_batch((0..16).map(|i| {
+            EngineRequest::new(
+                Algorithm::OpqBased,
+                Workload::homogeneous(10 + i, 0.95).unwrap(),
+                Arc::clone(&bins),
+            )
+        }));
+        assert!(!engine.is_shut_down());
+        engine.shutdown();
+        assert!(engine.is_shut_down());
+        // Everything submitted before the shutdown still delivers: the drain
+        // is deterministic, never lossy.
+        for handle in handles {
+            assert!(handle.wait().is_ok());
+        }
+        // New work is rejected explicitly on both submission paths.
+        let request = EngineRequest::new(
+            Algorithm::OpqBased,
+            Workload::homogeneous(4, 0.95).unwrap(),
+            Arc::clone(&bins),
+        );
+        assert_eq!(
+            engine.submit(request.clone()).wait(),
+            Err(EngineError::ShutDown)
+        );
+        match engine.solve_resolved(request) {
+            Err(EngineError::ShutDown) => {}
+            other => panic!("expected ShutDown, got {other:?}"),
+        }
+        // Shutdown is idempotent.
+        engine.shutdown();
+    }
+
+    /// A solver that blocks until released through a channel: the
+    /// fault-injection vehicle for the timeout tests.
+    #[derive(Debug)]
+    struct BlockingSolver {
+        release: Mutex<std::sync::mpsc::Receiver<()>>,
+    }
+
+    impl slade_core::solver::DecompositionSolver for BlockingSolver {
+        fn name(&self) -> &'static str {
+            "Blocking"
+        }
+
+        fn solve(
+            &self,
+            workload: &Workload,
+            bins: &BinSet,
+        ) -> Result<DecompositionPlan, SladeError> {
+            let guard = self.release.lock().unwrap_or_else(|p| p.into_inner());
+            // Bounded so a broken test cannot wedge the worker forever.
+            let _ = guard.recv_timeout(Duration::from_secs(10));
+            slade_core::greedy::Greedy.solve(workload, bins)
+        }
+    }
+
+    impl PreparedSolver for BlockingSolver {}
+
+    #[test]
+    fn wait_timeout_surfaces_a_stuck_solve_without_wedging() {
+        let engine = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        let bins = paper_bins();
+        let (release, blocked) = std::sync::mpsc::channel();
+        let request = EngineRequest::new(
+            Algorithm::Greedy,
+            Workload::homogeneous(4, 0.95).unwrap(),
+            Arc::clone(&bins),
+        )
+        .with_solver(Arc::new(BlockingSolver {
+            release: Mutex::new(blocked),
+        }));
+        let handle = engine.submit(request);
+        let timeout = Duration::from_millis(40);
+        assert_eq!(
+            handle.wait_timeout(timeout),
+            Err(EngineError::Timeout { after: timeout })
+        );
+        // Release the stuck solver; the worker survives and keeps serving,
+        // and a generous timeout behaves exactly like a plain wait.
+        release.send(()).unwrap();
+        let plan = engine
+            .submit(EngineRequest::new(
+                Algorithm::Greedy,
+                Workload::homogeneous(4, 0.95).unwrap(),
+                bins,
+            ))
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap();
+        assert_eq!(plan.algorithm(), "Greedy");
+    }
+
+    #[test]
+    fn resolved_timeouts_match_their_blocking_twins_when_not_stuck() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        let bins = paper_bins();
+        let request = EngineRequest::new(
+            Algorithm::OpqBased,
+            Workload::homogeneous(40, 0.95).unwrap(),
+            Arc::clone(&bins),
+        );
+        let generous = Duration::from_secs(60);
+        let blocking = engine.solve_resolved(request.clone()).unwrap();
+        let timed = engine.solve_resolved_timeout(request, generous).unwrap();
+        assert_eq!(*blocking.plan(), *timed.plan());
+        let delta = WorkloadDelta::Resize(60);
+        let resubmitted = engine.resubmit(&blocking, &delta).unwrap();
+        let resubmitted_timed = engine.resubmit_timeout(&timed, &delta, generous).unwrap();
+        assert_eq!(*resubmitted.plan(), *resubmitted_timed.plan());
     }
 
     #[test]

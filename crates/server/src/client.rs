@@ -1,0 +1,91 @@
+//! A small synchronous client for the line-delimited JSON protocol, used
+//! by `slade-cli client`, the loopback benchmarks, and the e2e tests.
+
+use crate::json::{self, Json};
+use crate::line::LineBuffer;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected protocol client. One request/response pair at a time
+/// ([`Client::roundtrip`]); responses arrive in request order because a
+/// session serves its connection sequentially.
+pub struct Client {
+    stream: TcpStream,
+    /// Bytes received but not yet consumed as a complete line — framed by
+    /// the same [`LineBuffer`] the server's sessions use. Uncapped: the
+    /// server is trusted, and full-plan responses are legitimately large.
+    lines: LineBuffer,
+}
+
+impl Client {
+    /// Connects with a 30-second read timeout, so a wedged server surfaces
+    /// as an error instead of a hang (tighten with
+    /// [`Client::set_read_timeout`]).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            lines: LineBuffer::new(usize::MAX),
+        })
+    }
+
+    /// Bounds how long [`Client::recv_line`] may block; `None` waits
+    /// forever.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one raw request line (the newline is appended here).
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()
+    }
+
+    /// Receives one response line (without its newline).
+    pub fn recv_line(&mut self) -> io::Result<String> {
+        loop {
+            if let Some(line) = self.lines.next_line() {
+                let text = String::from_utf8(line).map_err(|e| {
+                    io::Error::new(ErrorKind::InvalidData, format!("non-UTF-8 response: {e}"))
+                })?;
+                return Ok(text.trim_end_matches(['\n', '\r']).to_string());
+            }
+            let mut chunk = [0u8; 8192];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-response",
+                    ))
+                }
+                Ok(n) => self.lines.extend(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends one request line and returns the matching response line.
+    pub fn roundtrip(&mut self, line: &str) -> io::Result<String> {
+        self.send_line(line)?;
+        self.recv_line()
+    }
+
+    /// [`Client::roundtrip`] at the [`Json`] level: serializes the
+    /// request, parses the response (a malformed response is an
+    /// [`ErrorKind::InvalidData`] error — the server always answers in
+    /// valid JSON).
+    pub fn request(&mut self, request: &Json) -> io::Result<Json> {
+        let line = self.roundtrip(&request.to_string())?;
+        json::parse(&line).map_err(|e| {
+            io::Error::new(
+                ErrorKind::InvalidData,
+                format!("unparseable response `{line}`: {e}"),
+            )
+        })
+    }
+}

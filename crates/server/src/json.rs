@@ -1,11 +1,21 @@
-//! A minimal JSON parser for the `batch` subcommand's JSONL requests.
+//! The workspace's one JSON implementation: parser **and** serializer.
 //!
 //! The offline build environment has no serde; this module implements the
-//! full JSON value grammar (RFC 8259) in ~150 lines — objects, arrays,
-//! strings with escapes, numbers, booleans, null — with byte positions in
-//! error messages. Numbers are parsed as `f64`, which is exact for every
-//! integer a request can legitimately carry (task counts fit `u32`, seeds of
-//! interest fit 2⁵³).
+//! full JSON value grammar (RFC 8259) — objects, arrays, strings with
+//! escapes, numbers, booleans, null — with byte positions in error
+//! messages, plus the matching compact serializer ([`Json`]'s [`Display`]).
+//! The CLI's `batch` subcommand and the `slade-server` wire protocol both
+//! parse and print through it, so the two can never drift apart.
+//!
+//! Numbers are `f64`, which is exact for every integer a request can
+//! legitimately carry (task counts fit `u32`, seeds of interest fit 2⁵³).
+//! Serialization uses Rust's shortest-round-trip float formatting, so a
+//! value survives `parse(format!("{json}"))` **bit-identically** — the
+//! property the server's byte-identical plan contract rests on.
+//!
+//! [`Display`]: std::fmt::Display
+
+use std::fmt;
 
 /// A parsed JSON value. Object keys keep insertion order (requests are tiny,
 /// so lookup is a linear scan).
@@ -69,6 +79,75 @@ impl Json {
             Json::String(_) => "string",
             Json::Array(_) => "array",
             Json::Object(_) => "object",
+        }
+    }
+
+    /// A number value.
+    ///
+    /// # Panics
+    /// Panics on non-finite input — the serializer has no representation
+    /// for NaN or infinity (RFC 8259 has none either), and the parser on
+    /// the other end rejects them, so constructing one is always a bug.
+    pub fn number(x: f64) -> Json {
+        assert!(x.is_finite(), "JSON cannot represent {x}");
+        Json::Number(x)
+    }
+
+    /// A string value.
+    pub fn string(s: impl Into<String>) -> Json {
+        Json::String(s.into())
+    }
+}
+
+/// Builds one object member; sugar keeping literal objects readable.
+pub fn member(key: &str, value: Json) -> (String, Json) {
+    (key.to_string(), value)
+}
+
+/// The compact serializer: no whitespace, object members in insertion
+/// order, strings through [`escape`], and numbers in Rust's
+/// shortest-round-trip decimal form (integers without a trailing `.0`) —
+/// so `parse(x.to_string()) == x` bit-for-bit for every finite value.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Number(x) => {
+                debug_assert!(x.is_finite(), "serializing non-finite number {x}");
+                // Integers in the f64-exact range print without a fraction;
+                // everything else uses Display's shortest form that parses
+                // back to the same f64. -0.0 must take the Display branch
+                // (printing "-0"): the integer cast would print "0", which
+                // parses back as +0.0 and breaks the bit-identity contract.
+                let negative_zero = *x == 0.0 && x.is_sign_negative();
+                if x.fract() == 0.0 && x.abs() < 9.007_199_254_740_992e15 && !negative_zero {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Json::String(s) => write!(f, "\"{}\"", escape(s)),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(members) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "\"{}\":{value}", escape(key))?;
+                }
+                f.write_str("}")
+            }
         }
     }
 }
@@ -445,5 +524,62 @@ mod tests {
         let nasty = "a\"b\\c\nd\te\u{1}f";
         let encoded = format!("\"{}\"", escape(nasty));
         assert_eq!(parse(&encoded).unwrap(), Json::String(nasty.into()));
+    }
+
+    #[test]
+    fn serializer_is_compact_and_stable() {
+        let value = Json::Object(vec![
+            member("ok", Json::Bool(true)),
+            member("op", Json::string("solve")),
+            member("tasks", Json::number(4.0)),
+            member("cost", Json::number(0.68)),
+            member("none", Json::Null),
+            member(
+                "bins",
+                Json::Array(vec![Json::number(1.0), Json::number(0.9)]),
+            ),
+            member("we\"ird", Json::string("a\nb")),
+        ]);
+        assert_eq!(
+            value.to_string(),
+            "{\"ok\":true,\"op\":\"solve\",\"tasks\":4,\"cost\":0.68,\
+             \"none\":null,\"bins\":[1,0.9],\"we\\\"ird\":\"a\\nb\"}"
+        );
+    }
+
+    #[test]
+    fn serialized_values_parse_back_bit_identically() {
+        // Shortest-round-trip float printing: the parse of the print is the
+        // original value, bit for bit — including awkward decimals, tiny
+        // magnitudes, and integers at the edge of f64 exactness.
+        let numbers = [
+            0.68,
+            0.1 + 0.2, // 0.30000000000000004
+            1e-300,
+            -1.7976931348623157e308,
+            9.007_199_254_740_991e15,
+            4.0,
+            -0.25,
+            -0.0, // serializes as "-0", not "0": the sign bit must survive
+            f64::from(u32::MAX),
+        ];
+        for &x in &numbers {
+            let printed = Json::number(x).to_string();
+            let Json::Number(back) = parse(&printed).unwrap() else {
+                panic!("{printed} did not parse as a number");
+            };
+            assert_eq!(x.to_bits(), back.to_bits(), "{x} round-tripped as {back}");
+        }
+        // Structures round-trip too (object member order is preserved).
+        let doc = r#"{"a":[1,2.5,"x"],"b":{"c":false},"d":null}"#;
+        let value = parse(doc).unwrap();
+        assert_eq!(value.to_string(), doc);
+        assert_eq!(parse(&value.to_string()).unwrap(), value);
+    }
+
+    #[test]
+    #[should_panic(expected = "JSON cannot represent")]
+    fn non_finite_numbers_are_rejected_at_construction() {
+        let _ = Json::number(f64::NAN);
     }
 }

@@ -1,0 +1,69 @@
+//! # slade-server — a network frontend with stateful resubmit sessions
+//!
+//! `slade-engine` turned the one-shot solvers into a concurrent, caching
+//! service; this crate puts that service on a socket. It is std-only (no
+//! async runtime exists in the offline build environment): a
+//! thread-per-connection acceptor over one shared [`Engine`], speaking a
+//! line-delimited JSON protocol — one request object per line, one
+//! response object per line (see [`protocol`] for the verb table).
+//!
+//! The piece that makes this more than a remote `batch` pipe is the
+//! **session**: each connection holds the [`ResolvedPlan`]s of its `solve`
+//! requests by client-chosen plan id, so a `resubmit` round-trip over the
+//! wire reuses cached artifacts and unchanged shard sub-plans exactly like
+//! the in-process [`Engine::resubmit`] — and inherits its guarantee: the
+//! returned plan is **byte-identical to a cold solve of the final
+//! workload** (pinned over a real socket by this crate's e2e tests, down
+//! to the serialized bytes — the shared [`json`] serializer prints floats
+//! in shortest-round-trip form precisely so that contract is testable).
+//!
+//! Robustness posture:
+//!
+//! * malformed input (bad JSON, unknown verbs/fields, a `resubmit`
+//!   against a missing plan id) gets a structured `{"ok":false,…}` error
+//!   and the connection survives;
+//! * solves run under the engine's timeout-aware waits and session reads
+//!   poll with a short timeout, so neither a stuck request nor a silent
+//!   client can wedge the acceptor or a shutdown drain;
+//! * shutdown (the in-band `shutdown` verb or a [`ShutdownHandle`]) is
+//!   graceful: the acceptor stops, sessions finish their current request,
+//!   and [`Engine::shutdown`] drains the worker pool deterministically.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use slade_server::{client::Client, Server, ServerConfig};
+//! use std::thread;
+//!
+//! let server = Server::bind(ServerConfig::default()).unwrap(); // 127.0.0.1:0
+//! let addr = server.local_addr();
+//! let running = thread::spawn(move || server.run().unwrap());
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! // Example 9 of the paper, retained under plan id "w".
+//! let reply = client
+//!     .roundtrip(r#"{"op":"solve","id":"w","tasks":4,"threshold":0.95}"#)
+//!     .unwrap();
+//! assert!(reply.contains("\"ok\":true"), "{reply}");
+//! // The workload grows in place; unchanged shards are reused server-side.
+//! let reply = client
+//!     .roundtrip(r#"{"op":"resubmit","id":"w","delta":{"resize":100}}"#)
+//!     .unwrap();
+//! assert!(reply.contains("\"tasks\":100"), "{reply}");
+//! client.roundtrip(r#"{"op":"shutdown"}"#).unwrap();
+//! running.join().unwrap();
+//! ```
+//!
+//! [`Engine`]: slade_engine::Engine
+//! [`Engine::resubmit`]: slade_engine::Engine::resubmit
+//! [`Engine::shutdown`]: slade_engine::Engine::shutdown
+//! [`ResolvedPlan`]: slade_engine::ResolvedPlan
+
+pub mod client;
+pub mod json;
+mod line;
+pub mod protocol;
+mod server;
+
+pub use client::Client;
+pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,83 @@
+//! Newline framing shared by the server's sessions and the [`Client`]:
+//! one buffer type that accumulates raw reads and yields complete lines,
+//! so the two sides of the protocol can never drift in how they split the
+//! stream.
+//!
+//! [`Client`]: crate::client::Client
+
+/// Accumulates raw bytes and yields complete newline-terminated lines.
+pub(crate) struct LineBuffer {
+    buf: Vec<u8>,
+    /// Maximum bytes one line may occupy; [`LineBuffer::over_limit`] turns
+    /// true when the pending (incomplete) line exceeds it.
+    max_line: usize,
+}
+
+impl LineBuffer {
+    pub fn new(max_line: usize) -> Self {
+        LineBuffer {
+            buf: Vec::new(),
+            max_line,
+        }
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete line (newline included), if one is buffered.
+    pub fn next_line(&mut self) -> Option<Vec<u8>> {
+        let pos = self.buf.iter().position(|&b| b == b'\n')?;
+        Some(self.buf.drain(..=pos).collect())
+    }
+
+    /// Takes whatever is buffered — the trailing line of a stream that
+    /// ended without a final newline.
+    pub fn take_rest(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Whether an incomplete line has outgrown the cap. Only meaningful
+    /// after [`LineBuffer::next_line`] returned `None`: a buffer this full
+    /// with no newline in sight can only keep growing.
+    pub fn over_limit(&self) -> bool {
+        self.buf.len() > self.max_line
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_lines_across_arbitrary_read_boundaries() {
+        let mut lines = LineBuffer::new(1024);
+        lines.extend(b"alpha\nbe");
+        assert_eq!(lines.next_line().as_deref(), Some(b"alpha\n".as_slice()));
+        assert_eq!(lines.next_line(), None);
+        lines.extend(b"ta\n\ngam");
+        assert_eq!(lines.next_line().as_deref(), Some(b"beta\n".as_slice()));
+        assert_eq!(lines.next_line().as_deref(), Some(b"\n".as_slice()));
+        assert_eq!(lines.next_line(), None);
+        assert!(!lines.is_empty());
+        assert_eq!(lines.take_rest(), b"gam".to_vec());
+        assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn over_limit_trips_only_for_unterminated_overlong_lines() {
+        let mut lines = LineBuffer::new(8);
+        lines.extend(b"0123456789\n");
+        // A complete line is extractable regardless of the cap...
+        assert!(lines.next_line().is_some());
+        // ...but an incomplete line beyond the cap trips the guard.
+        lines.extend(b"0123456789");
+        assert_eq!(lines.next_line(), None);
+        assert!(lines.over_limit());
+    }
+}

@@ -1,0 +1,525 @@
+//! The line-delimited JSON protocol: request parsing and response shapes.
+//!
+//! Every request is one JSON object per line. The `op` member selects the
+//! verb (defaulting to `"solve"`, so the plain JSONL request lines that
+//! feed `slade-cli batch` work over the wire unchanged):
+//!
+//! | verb | request members | response |
+//! |------|-----------------|----------|
+//! | `solve` | the engine fields (`algorithm`, `tasks`, `threshold`, `thresholds`, `bins`, `seed`), optional `id` (retain the resolved plan in the session), optional `plan` (include the full plan) | summary + shard/reuse counters |
+//! | `batch` | `requests`: array of engine-field objects | per-request summaries, in order |
+//! | `resubmit` | `id`, `delta` (one of `resize` / `set_thresholds` / `append`), optional `plan` | summary + reuse counters for the re-solve |
+//! | `stats` | — | cache, per-op and per-algorithm counters |
+//! | `shutdown` | — | ack; the server then drains and exits |
+//!
+//! Responses always carry `"ok": true` or `"ok": false` with an `"error"`
+//! string; a failed request never costs the connection. The full-plan
+//! payload ([`plan_to_json`]) serializes through the shared shortest-
+//! round-trip [`json`] serializer, which is what makes the
+//! server's "resubmit ≡ cold solve, byte-identical" contract testable over
+//! the wire.
+
+use crate::json::{self, member, Json};
+use slade_core::bin_set::BinSet;
+use slade_core::plan::{DecompositionPlan, PlanAudit};
+use slade_core::solver::Algorithm;
+use slade_core::task::Workload;
+use slade_engine::{EngineRequest, WorkloadDelta};
+use std::sync::Arc;
+
+/// The protocol verbs, for error messages and dispatch tables.
+pub const VERBS: [&str; 5] = ["solve", "batch", "resubmit", "stats", "shutdown"];
+
+/// One parsed protocol request.
+#[derive(Debug)]
+pub enum Request {
+    /// Solve one instance; optionally retain the resolved plan under `id`.
+    Solve {
+        /// The engine request to run.
+        request: EngineRequest,
+        /// Session-scoped plan id to retain the result under, for
+        /// follow-up `resubmit`s.
+        id: Option<String>,
+        /// Whether the response should embed the full plan.
+        want_plan: bool,
+    },
+    /// Solve several instances concurrently, summaries in request order.
+    Batch {
+        /// The engine requests, in order.
+        requests: Vec<EngineRequest>,
+    },
+    /// Re-solve a retained plan under a workload delta.
+    Resubmit {
+        /// The plan id chosen at `solve` time.
+        id: String,
+        /// The workload change to apply.
+        delta: WorkloadDelta,
+        /// Whether the response should embed the full plan.
+        want_plan: bool,
+    },
+    /// Report server counters.
+    Stats,
+    /// Drain and stop the server.
+    Shutdown,
+}
+
+/// Parses one request line. Errors are plain strings; the caller decides
+/// how to frame them (the server as an error response, the CLI with a line
+/// number prefix).
+pub fn parse_request(line: &str, default_bins: &Arc<BinSet>) -> Result<Request, String> {
+    let value = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let Some(members) = value.members() else {
+        return Err(format!("expected a JSON object, got {}", value.type_name()));
+    };
+    let op = match value.get("op") {
+        None => "solve",
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| format!("`op` must be a string, got {}", v.type_name()))?,
+    };
+    match op {
+        "solve" => {
+            let request = parse_engine_request(&value, default_bins, &["op", "id", "plan"])?;
+            Ok(Request::Solve {
+                request,
+                id: optional_string(&value, "id")?,
+                want_plan: optional_bool(&value, "plan")?,
+            })
+        }
+        "batch" => {
+            for (key, _) in members {
+                if !matches!(key.as_str(), "op" | "requests") {
+                    return Err(format!(
+                        "unknown field `{key}` for `batch` (expected op, requests)"
+                    ));
+                }
+            }
+            let items = value
+                .get("requests")
+                .and_then(Json::as_array)
+                .ok_or("`batch` needs a `requests` array")?;
+            let requests = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    parse_engine_request(item, default_bins, &[])
+                        .map_err(|e| format!("request {i}: {e}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Batch { requests })
+        }
+        "resubmit" => {
+            for (key, _) in members {
+                if !matches!(key.as_str(), "op" | "id" | "delta" | "plan") {
+                    return Err(format!(
+                        "unknown field `{key}` for `resubmit` (expected op, id, delta, plan)"
+                    ));
+                }
+            }
+            let id = optional_string(&value, "id")?
+                .ok_or("`resubmit` needs the `id` of a retained plan")?;
+            let delta = value.get("delta").ok_or("`resubmit` needs a `delta`")?;
+            Ok(Request::Resubmit {
+                id,
+                delta: parse_delta(delta)?,
+                want_plan: optional_bool(&value, "plan")?,
+            })
+        }
+        "stats" | "shutdown" => {
+            for (key, _) in members {
+                if key != "op" {
+                    return Err(format!("unknown field `{key}` for `{op}`"));
+                }
+            }
+            Ok(if op == "stats" {
+                Request::Stats
+            } else {
+                Request::Shutdown
+            })
+        }
+        other => Err(format!(
+            "unknown op `{other}`; expected one of: {}",
+            VERBS.join(", ")
+        )),
+    }
+}
+
+/// Parses a [`WorkloadDelta`] object: exactly one of `{"resize": n}`,
+/// `{"set_thresholds": [[task, t], ...]}`, `{"append": [t, ...]}`.
+fn parse_delta(value: &Json) -> Result<WorkloadDelta, String> {
+    let expected = "`delta` must be an object with exactly one of: \
+                    resize, set_thresholds, append";
+    let members = value.members().ok_or(expected)?;
+    let [(verb, payload)] = members else {
+        return Err(expected.to_string());
+    };
+    match verb.as_str() {
+        "resize" => Ok(WorkloadDelta::Resize(json_u32(payload, "`resize`")?)),
+        "set_thresholds" => {
+            let pairs = payload
+                .as_array()
+                .ok_or("`set_thresholds` must be an array of [task, threshold] pairs")?;
+            let changes = pairs
+                .iter()
+                .map(|pair| {
+                    let [task, threshold] = pair.as_array().unwrap_or(&[]) else {
+                        return Err(
+                            "each `set_thresholds` entry must be a [task, threshold] pair"
+                                .to_string(),
+                        );
+                    };
+                    Ok((
+                        json_u32(task, "`set_thresholds` task id")?,
+                        json_f64(threshold, "`set_thresholds` threshold")?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(WorkloadDelta::SetThresholds(changes))
+        }
+        "append" => {
+            let items = payload
+                .as_array()
+                .ok_or("`append` must be an array of thresholds")?;
+            let thresholds = items
+                .iter()
+                .map(|t| json_f64(t, "`append` threshold"))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(WorkloadDelta::Append(thresholds))
+        }
+        other => Err(format!(
+            "unknown delta verb `{other}`; expected one of: resize, set_thresholds, append"
+        )),
+    }
+}
+
+/// Parses the engine fields of a request object into an [`EngineRequest`].
+///
+/// `extra_allowed` names protocol-level members (e.g. `op`, `id`) that may
+/// accompany the engine fields; anything else unknown is rejected, the same
+/// strictness `slade-cli batch` has always had. All fields are optional;
+/// the defaults are the paper's Example 9 instance.
+pub fn parse_engine_request(
+    value: &Json,
+    default_bins: &Arc<BinSet>,
+    extra_allowed: &[&str],
+) -> Result<EngineRequest, String> {
+    const ENGINE_FIELDS: [&str; 6] = [
+        "algorithm",
+        "tasks",
+        "threshold",
+        "thresholds",
+        "bins",
+        "seed",
+    ];
+    let Some(members) = value.members() else {
+        return Err(format!("expected a JSON object, got {}", value.type_name()));
+    };
+    for (key, _) in members {
+        if !ENGINE_FIELDS.contains(&key.as_str()) && !extra_allowed.contains(&key.as_str()) {
+            let mut expected: Vec<&str> = ENGINE_FIELDS.to_vec();
+            expected.extend(extra_allowed);
+            return Err(format!(
+                "unknown field `{key}` (expected {})",
+                expected.join(", ")
+            ));
+        }
+    }
+
+    let algorithm = match value.get("algorithm") {
+        None => Algorithm::OpqBased,
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| format!("`algorithm` must be a string, got {}", v.type_name()))?
+            .parse()
+            .map_err(|e| format!("{e}"))?,
+    };
+
+    let bins = match value.get("bins") {
+        None => Arc::clone(default_bins),
+        Some(v) => {
+            let rows = v
+                .as_array()
+                .ok_or("`bins` must be an array of [l, r, c] triples")?;
+            let mut triples = Vec::with_capacity(rows.len());
+            for row in rows {
+                let fields = row.as_array().unwrap_or(&[]);
+                let [l, r, c] = fields else {
+                    return Err("each bin must be an [l, r, c] triple".to_string());
+                };
+                triples.push((
+                    json_u32(l, "bin cardinality")?,
+                    json_f64(r, "bin confidence")?,
+                    json_f64(c, "bin cost")?,
+                ));
+            }
+            Arc::new(BinSet::new(triples).map_err(|e| e.to_string())?)
+        }
+    };
+
+    let workload = match value.get("thresholds") {
+        Some(v) => {
+            // A request mixing both workload forms is rejected: silently
+            // dropping a field would contradict the parser's strictness
+            // everywhere else.
+            for conflicting in ["tasks", "threshold"] {
+                if value.get(conflicting).is_some() {
+                    return Err(format!(
+                        "`thresholds` conflicts with `{conflicting}`; give one or the other"
+                    ));
+                }
+            }
+            let items = v
+                .as_array()
+                .ok_or("`thresholds` must be an array of numbers")?;
+            let thresholds = items
+                .iter()
+                .map(|t| json_f64(t, "threshold"))
+                .collect::<Result<Vec<f64>, _>>()?;
+            Workload::heterogeneous(thresholds)
+        }
+        None => {
+            let tasks = match value.get("tasks") {
+                None => 4,
+                Some(v) => json_u32(v, "tasks")?,
+            };
+            let threshold = match value.get("threshold") {
+                None => 0.95,
+                Some(v) => json_f64(v, "threshold")?,
+            };
+            Workload::homogeneous(tasks, threshold)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+
+    let seed = match value.get("seed") {
+        None => 0xC0FFEE,
+        Some(v) => {
+            let x = json_f64(v, "seed")?;
+            if x < 0.0 || x.fract() != 0.0 || x > 9.007_199_254_740_992e15 {
+                return Err(format!("`seed` must be a non-negative integer, got {x}"));
+            }
+            x as u64
+        }
+    };
+
+    Ok(EngineRequest::new(algorithm, workload, bins).with_seed(seed))
+}
+
+fn json_f64(value: &Json, what: &str) -> Result<f64, String> {
+    value
+        .as_f64()
+        .ok_or_else(|| format!("{what} must be a number, got {}", value.type_name()))
+}
+
+fn json_u32(value: &Json, what: &str) -> Result<u32, String> {
+    let x = json_f64(value, what)?;
+    if x < 0.0 || x.fract() != 0.0 || x > f64::from(u32::MAX) {
+        return Err(format!("{what} must be a non-negative integer, got {x}"));
+    }
+    Ok(x as u32)
+}
+
+fn optional_string(value: &Json, key: &str) -> Result<Option<String>, String> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| format!("`{key}` must be a string, got {}", v.type_name())),
+    }
+}
+
+fn optional_bool(value: &Json, key: &str) -> Result<bool, String> {
+    match value.get(key) {
+        None => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(v) => Err(format!("`{key}` must be a boolean, got {}", v.type_name())),
+    }
+}
+
+/// The canonical JSON form of a [`DecompositionPlan`]: algorithm label,
+/// accumulated cost, and every posted bin with its task assignment. Costs
+/// and thresholds serialize in shortest-round-trip form, so two plans are
+/// byte-identical here exactly when they are byte-identical in memory.
+pub fn plan_to_json(plan: &DecompositionPlan) -> Json {
+    Json::Object(vec![
+        member("algorithm", Json::string(plan.algorithm())),
+        member("total_cost", Json::number(plan.total_cost())),
+        member(
+            "bins",
+            Json::Array(
+                plan.bins()
+                    .iter()
+                    .map(|bin| {
+                        Json::Object(vec![
+                            member("cardinality", Json::number(f64::from(bin.cardinality()))),
+                            member(
+                                "tasks",
+                                Json::Array(
+                                    bin.tasks()
+                                        .iter()
+                                        .map(|&t| Json::number(f64::from(t)))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The summary members shared by every solve-shaped response — the CLI's
+/// `batch` result lines and the server's `solve`/`batch`/`resubmit`
+/// responses are all assembled from this one function, so their field
+/// names and value formatting cannot drift apart.
+pub fn plan_summary_members(
+    algorithm: Algorithm,
+    workload: &Workload,
+    audit: &PlanAudit,
+) -> Vec<(String, Json)> {
+    vec![
+        member("algorithm", Json::string(algorithm.name())),
+        member("tasks", Json::number(f64::from(workload.len()))),
+        member("bins_posted", Json::number(audit.bins_posted as f64)),
+        member("cost", Json::number(audit.total_cost)),
+        member("feasible", Json::Bool(audit.feasible)),
+    ]
+}
+
+/// A structured error response; `op` is included when the failing verb is
+/// known (parse failures happen before the verb is).
+pub fn error_response(op: Option<&str>, message: &str) -> Json {
+    let mut members = vec![member("ok", Json::Bool(false))];
+    if let Some(op) = op {
+        members.push(member("op", Json::string(op)));
+    }
+    members.push(member("error", Json::string(message)));
+    Json::Object(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bins() -> Arc<BinSet> {
+        Arc::new(BinSet::paper_example())
+    }
+
+    #[test]
+    fn bare_object_defaults_to_example9_solve() {
+        let Request::Solve {
+            request,
+            id,
+            want_plan,
+        } = parse_request("{}", &bins()).unwrap()
+        else {
+            panic!("expected a solve");
+        };
+        assert_eq!(request.algorithm, Algorithm::OpqBased);
+        assert_eq!(request.workload.len(), 4);
+        assert!(id.is_none() && !want_plan);
+    }
+
+    #[test]
+    fn solve_accepts_protocol_members_alongside_engine_fields() {
+        let line = r#"{"op":"solve","id":"w","plan":true,"algorithm":"greedy","tasks":7}"#;
+        let Request::Solve {
+            request,
+            id,
+            want_plan,
+        } = parse_request(line, &bins()).unwrap()
+        else {
+            panic!("expected a solve");
+        };
+        assert_eq!(request.algorithm, Algorithm::Greedy);
+        assert_eq!(request.workload.len(), 7);
+        assert_eq!(id.as_deref(), Some("w"));
+        assert!(want_plan);
+    }
+
+    #[test]
+    fn resubmit_parses_every_delta_verb() {
+        let cases = [
+            (
+                r#"{"op":"resubmit","id":"w","delta":{"resize":100}}"#,
+                WorkloadDelta::Resize(100),
+            ),
+            (
+                r#"{"op":"resubmit","id":"w","delta":{"set_thresholds":[[0,0.9],[2,0.7]]}}"#,
+                WorkloadDelta::SetThresholds(vec![(0, 0.9), (2, 0.7)]),
+            ),
+            (
+                r#"{"op":"resubmit","id":"w","delta":{"append":[0.5,0.6]}}"#,
+                WorkloadDelta::Append(vec![0.5, 0.6]),
+            ),
+        ];
+        for (line, expected) in cases {
+            let Request::Resubmit { id, delta, .. } = parse_request(line, &bins()).unwrap() else {
+                panic!("expected a resubmit: {line}");
+            };
+            assert_eq!(id, "w");
+            assert_eq!(delta, expected);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        let cases = [
+            ("{oops}", "invalid JSON"),
+            ("[1,2]", "expected a JSON object"),
+            (r#"{"op":"frobnicate"}"#, "unknown op `frobnicate`"),
+            (r#"{"op":"solve","frob":1}"#, "unknown field `frob`"),
+            (r#"{"op":"stats","x":1}"#, "unknown field `x`"),
+            (
+                r#"{"op":"resubmit","delta":{"resize":5}}"#,
+                "needs the `id`",
+            ),
+            (r#"{"op":"resubmit","id":"w"}"#, "needs a `delta`"),
+            (
+                r#"{"op":"resubmit","id":"w","delta":{"resize":5,"append":[0.5]}}"#,
+                "exactly one",
+            ),
+            (
+                r#"{"op":"resubmit","id":"w","delta":{"grow":5}}"#,
+                "unknown delta verb `grow`",
+            ),
+            (r#"{"op":"batch"}"#, "needs a `requests` array"),
+            (
+                r#"{"op":"batch","requests":[{},{"task":1}]}"#,
+                "request 1: unknown field `task`",
+            ),
+            (r#"{"thresholds":[0.5],"tasks":2}"#, "conflicts"),
+            (r#"{"op":"solve","plan":"yes"}"#, "`plan` must be a boolean"),
+        ];
+        for (line, needle) in cases {
+            let err = parse_request(line, &bins()).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+        // The unknown-op message lists every verb.
+        let err = parse_request(r#"{"op":"nope"}"#, &bins()).unwrap_err();
+        for verb in VERBS {
+            assert!(err.contains(verb), "missing {verb} in: {err}");
+        }
+    }
+
+    #[test]
+    fn plan_json_is_byte_stable_across_identical_solves() {
+        use slade_core::solver::DecompositionSolver;
+        let bins = bins();
+        let workload = Workload::homogeneous(4, 0.95).unwrap();
+        let a = slade_core::opq_based::OpqBased::default()
+            .solve(&workload, &bins)
+            .unwrap();
+        let b = slade_core::opq_based::OpqBased::default()
+            .solve(&workload, &bins)
+            .unwrap();
+        let (ja, jb) = (plan_to_json(&a), plan_to_json(&b));
+        assert_eq!(ja, jb);
+        assert_eq!(ja.to_string(), jb.to_string());
+        // And the serialized form parses back to the same value.
+        assert_eq!(json::parse(&ja.to_string()).unwrap(), ja);
+        assert!(ja.to_string().contains("\"algorithm\":\"OpqBased\""));
+    }
+}

@@ -1,0 +1,531 @@
+//! The TCP frontend: a thread-per-connection acceptor over one shared
+//! [`Engine`], with per-connection sessions holding resolved plans.
+//!
+//! Std-only by construction (the build environment has no async runtime):
+//! the acceptor blocks in `accept`, each connection gets a session thread,
+//! and shutdown is cooperative — a `shutdown` request (or a
+//! [`ShutdownHandle`]) sets the flag, wakes the acceptor with a loopback
+//! connect, sessions notice via their read-timeout poll, and the engine
+//! drains deterministically before [`Server::run`] returns. Session reads
+//! poll on a short timeout and solves go through the engine's
+//! timeout-aware waits, so neither a silent client nor a stuck solve can
+//! wedge the drain.
+
+use crate::json::{member, Json};
+use crate::line::LineBuffer;
+use crate::protocol::{self, Request};
+use slade_core::bin_set::BinSet;
+use slade_core::solver::Algorithm;
+use slade_engine::{Engine, EngineConfig, EngineError, EngineRequest, ResolvedPlan};
+use std::collections::HashMap;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often blocked session reads wake up to check the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// How long a response write to a stalled client may block before the
+/// session gives the connection up.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Back-off after a transient `accept` failure, so an error storm (fd
+/// exhaustion, say) cannot hot-spin the acceptor.
+const ACCEPT_RETRY: Duration = Duration::from_millis(50);
+
+/// Longest request line a session accepts. Generous — a million-task
+/// thresholds array fits severalfold — but finite, so one connection
+/// streaming newline-free bytes cannot grow a buffer without bound.
+const MAX_REQUEST_LINE: usize = 64 * 1024 * 1024;
+
+/// Number of registered algorithms, for the per-algorithm counter array.
+const ALGORITHMS: usize = Algorithm::ALL.len();
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `"127.0.0.1:7878"`; port `0` picks an
+    /// ephemeral port (read it back with [`Server::local_addr`]).
+    pub addr: String,
+    /// Configuration of the shared [`Engine`] the sessions solve on.
+    pub engine: EngineConfig,
+    /// Deadline for one request's solving work. A request that exceeds it
+    /// gets a structured error response (the connection survives); the
+    /// abandoned shards finish in the pool.
+    pub request_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            engine: EngineConfig::default(),
+            request_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Per-op and per-algorithm request counters, reported by the `stats` verb.
+#[derive(Debug, Default)]
+struct Counters {
+    solve: AtomicU64,
+    batch: AtomicU64,
+    resubmit: AtomicU64,
+    stats: AtomicU64,
+    shutdown: AtomicU64,
+    errors: AtomicU64,
+    algorithms: [AtomicU64; ALGORITHMS],
+}
+
+impl Counters {
+    fn count_algorithm(&self, algorithm: Algorithm) {
+        let index = Algorithm::ALL
+            .iter()
+            .position(|a| *a == algorithm)
+            .expect("every algorithm is in the registry");
+        self.algorithms[index].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// State shared by the acceptor, every session thread, and shutdown
+/// handles.
+struct Shared {
+    engine: Engine,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    request_timeout: Duration,
+    counters: Counters,
+    /// Sessions currently connected.
+    connections: AtomicUsize,
+    /// Resolved plans currently retained across all sessions.
+    plans_retained: AtomicUsize,
+}
+
+/// Flips the shutdown flag and wakes the blocked acceptor with a loopback
+/// connection (std's `accept` has no cancellation of its own).
+fn trigger_shutdown(shared: &Shared) {
+    if !shared.shutdown.swap(true, Ordering::SeqCst) {
+        let _ = TcpStream::connect(shared.local_addr);
+    }
+}
+
+/// Stops a running [`Server`] from outside a session (embedding code,
+/// tests, signal handlers). Clonable and cheap; the protocol's `shutdown`
+/// verb is the in-band equivalent.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Requests a graceful shutdown: the acceptor stops, sessions finish
+    /// their current request and close, the engine drains.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+}
+
+/// A bound (but not yet running) decomposition server. See the
+/// [crate docs](crate) for the protocol and an example.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the engine's worker pool.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: Engine::new(config.engine),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            request_timeout: config.request_timeout,
+            counters: Counters::default(),
+            connections: AtomicUsize::new(0),
+            plans_retained: AtomicUsize::new(0),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (resolves the ephemeral port of `addr: …:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// A handle that can stop the server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the accept loop until a shutdown is requested (in-band
+    /// `shutdown` verb or [`ShutdownHandle`]), then drains: stops
+    /// accepting, joins every session thread, and shuts the engine down so
+    /// all queued shards finish before this returns.
+    pub fn run(self) -> io::Result<()> {
+        let Server { listener, shared } = self;
+        let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            let accepted = listener.accept();
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break; // the wake-up connection (or a late client): drop it
+            }
+            let stream = match accepted {
+                Ok((stream, _)) => stream,
+                // Transient accept failures (a client resetting mid-
+                // handshake → ECONNABORTED, fd exhaustion → EMFILE, a
+                // signal → EINTR) must not kill a long-running server:
+                // back off briefly and keep accepting.
+                Err(_) => {
+                    thread::sleep(ACCEPT_RETRY);
+                    continue;
+                }
+            };
+            let session_shared = Arc::clone(&shared);
+            sessions.push(
+                thread::Builder::new()
+                    .name("slade-session".to_string())
+                    .spawn(move || session(stream, &session_shared))
+                    .expect("spawning a session thread"),
+            );
+            sessions.retain(|handle| !handle.is_finished());
+        }
+        drop(listener); // refuse new connections while draining
+        for handle in sessions {
+            let _ = handle.join();
+        }
+        shared.engine.shutdown();
+        Ok(())
+    }
+}
+
+/// One connection: counts itself in, serves lines, counts itself out.
+fn session(stream: TcpStream, shared: &Shared) {
+    shared.connections.fetch_add(1, Ordering::SeqCst);
+    let mut state = Session {
+        shared,
+        plans: HashMap::new(),
+        default_bins: Arc::new(BinSet::paper_example()),
+    };
+    let _ = state.serve(&stream);
+    shared
+        .plans_retained
+        .fetch_sub(state.plans.len(), Ordering::SeqCst);
+    shared.connections.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Per-connection state: the retained resolved plans, keyed by the
+/// client-chosen plan id. Sessions are isolated — ids never leak across
+/// connections.
+struct Session<'a> {
+    shared: &'a Shared,
+    plans: HashMap<String, ResolvedPlan>,
+    default_bins: Arc<BinSet>,
+}
+
+impl Session<'_> {
+    /// Reads request lines and writes response lines until EOF, a fatal
+    /// I/O error, or shutdown. Reads poll on [`READ_POLL`] so the session
+    /// notices a server shutdown even while the client is silent.
+    fn serve(&mut self, stream: &TcpStream) -> io::Result<()> {
+        stream.set_read_timeout(Some(READ_POLL))?;
+        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        let _ = stream.set_nodelay(true);
+        let mut writer = stream;
+        let mut lines = LineBuffer::new(MAX_REQUEST_LINE);
+        let mut chunk = [0u8; 8192];
+        loop {
+            while let Some(line) = lines.next_line() {
+                if !self.serve_line(&line, &mut writer)? {
+                    return Ok(());
+                }
+            }
+            if lines.over_limit() {
+                // A newline-free flood can only keep growing; refuse it
+                // with a structured error and close this connection.
+                self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let response = protocol::error_response(
+                    None,
+                    &format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                );
+                writeln!(writer, "{response}")?;
+                return Ok(());
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match (&mut (&*stream)).read(&mut chunk) {
+                Ok(0) => {
+                    // EOF; a trailing line without a newline still counts.
+                    if !lines.is_empty() {
+                        let line = lines.take_rest();
+                        self.serve_line(&line, &mut writer)?;
+                    }
+                    return Ok(());
+                }
+                Ok(n) => lines.extend(&chunk[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Serves one raw request line; returns whether the session continues.
+    fn serve_line(&mut self, raw: &[u8], writer: &mut impl Write) -> io::Result<bool> {
+        let Ok(text) = std::str::from_utf8(raw) else {
+            let response = protocol::error_response(None, "request line is not valid UTF-8");
+            self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            writeln!(writer, "{response}")?;
+            return Ok(true);
+        };
+        let line = text.trim();
+        if line.is_empty() {
+            return Ok(true); // blank lines are JSONL padding, not requests
+        }
+        let (response, keep_going) = self.dispatch(line);
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+        if !keep_going {
+            trigger_shutdown(self.shared);
+        }
+        Ok(keep_going)
+    }
+
+    /// Parses and executes one request; the bool is false exactly for a
+    /// successful `shutdown` request.
+    fn dispatch(&mut self, line: &str) -> (Json, bool) {
+        let counters = &self.shared.counters;
+        match protocol::parse_request(line, &self.default_bins) {
+            Err(message) => {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                (protocol::error_response(None, &message), true)
+            }
+            Ok(Request::Solve {
+                request,
+                id,
+                want_plan,
+            }) => {
+                counters.solve.fetch_add(1, Ordering::Relaxed);
+                (self.run_solve(request, id, want_plan), true)
+            }
+            Ok(Request::Batch { requests }) => {
+                counters.batch.fetch_add(1, Ordering::Relaxed);
+                (self.run_batch(requests), true)
+            }
+            Ok(Request::Resubmit {
+                id,
+                delta,
+                want_plan,
+            }) => {
+                counters.resubmit.fetch_add(1, Ordering::Relaxed);
+                (self.run_resubmit(&id, &delta, want_plan), true)
+            }
+            Ok(Request::Stats) => {
+                counters.stats.fetch_add(1, Ordering::Relaxed);
+                (self.stats_response(), true)
+            }
+            Ok(Request::Shutdown) => {
+                counters.shutdown.fetch_add(1, Ordering::Relaxed);
+                (
+                    Json::Object(vec![
+                        member("ok", Json::Bool(true)),
+                        member("op", Json::string("shutdown")),
+                    ]),
+                    false,
+                )
+            }
+        }
+    }
+
+    fn run_solve(&mut self, request: EngineRequest, id: Option<String>, want_plan: bool) -> Json {
+        self.shared.counters.count_algorithm(request.algorithm);
+        let resolved = self
+            .shared
+            .engine
+            .solve_resolved_timeout(request, self.shared.request_timeout);
+        match resolved {
+            Err(e) => self.engine_error("solve", &e),
+            Ok(resolved) => {
+                let response = self.resolved_response("solve", id.as_deref(), &resolved, want_plan);
+                if let Some(id) = id {
+                    if self.plans.insert(id, resolved).is_none() {
+                        self.shared.plans_retained.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                response
+            }
+        }
+    }
+
+    fn run_resubmit(
+        &mut self,
+        id: &str,
+        delta: &slade_engine::WorkloadDelta,
+        want_plan: bool,
+    ) -> Json {
+        let Some(prior) = self.plans.get(id) else {
+            self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            return protocol::error_response(
+                Some("resubmit"),
+                &format!(
+                    "unknown plan id `{id}`; this session retains {} plan(s)",
+                    self.plans.len()
+                ),
+            );
+        };
+        self.shared.counters.count_algorithm(prior.algorithm());
+        match self
+            .shared
+            .engine
+            .resubmit_timeout(prior, delta, self.shared.request_timeout)
+        {
+            Err(e) => self.engine_error("resubmit", &e),
+            Ok(resolved) => {
+                let response = self.resolved_response("resubmit", Some(id), &resolved, want_plan);
+                // Chained resubmits build on the latest state of the id.
+                self.plans.insert(id.to_string(), resolved);
+                response
+            }
+        }
+    }
+
+    /// Runs a `batch` verb exactly the way `slade-cli batch` runs a JSONL
+    /// stream: submit everything up front, collect in request order, and
+    /// turn per-request failures into per-request error entries. The
+    /// request timeout spans the whole batch.
+    fn run_batch(&mut self, requests: Vec<EngineRequest>) -> Json {
+        // Checked like every other wait path: a timeout too large for the
+        // `Instant` domain means "no deadline", not a panic.
+        let deadline = Instant::now().checked_add(self.shared.request_timeout);
+        for request in &requests {
+            self.shared.counters.count_algorithm(request.algorithm);
+        }
+        let handles = self.shared.engine.submit_batch(requests.iter().cloned());
+        let mut results = Vec::with_capacity(requests.len());
+        for (i, (handle, request)) in handles.into_iter().zip(&requests).enumerate() {
+            let mut members = vec![member("request", Json::number(i as f64))];
+            let waited = match deadline {
+                Some(at) => handle.wait_timeout(at.saturating_duration_since(Instant::now())),
+                None => handle.wait(),
+            };
+            match waited {
+                Ok(plan) => {
+                    let audit = plan
+                        .validate(&request.workload, &request.bins)
+                        .expect("engine plans are structurally valid");
+                    members.extend(protocol::plan_summary_members(
+                        request.algorithm,
+                        &request.workload,
+                        &audit,
+                    ));
+                }
+                Err(e) => {
+                    self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    members.push(member("error", Json::string(e.to_string())));
+                }
+            }
+            results.push(Json::Object(members));
+        }
+        Json::Object(vec![
+            member("ok", Json::Bool(true)),
+            member("op", Json::string("batch")),
+            member("results", Json::Array(results)),
+        ])
+    }
+
+    /// Assembles a solve/resubmit success response from a resolved plan.
+    fn resolved_response(
+        &self,
+        op: &str,
+        id: Option<&str>,
+        resolved: &ResolvedPlan,
+        want_plan: bool,
+    ) -> Json {
+        let audit = resolved
+            .plan()
+            .validate(resolved.workload(), resolved.bins())
+            .expect("engine plans are structurally valid");
+        let mut members = vec![
+            member("ok", Json::Bool(true)),
+            member("op", Json::string(op)),
+        ];
+        if let Some(id) = id {
+            members.push(member("id", Json::string(id)));
+        }
+        members.extend(protocol::plan_summary_members(
+            resolved.algorithm(),
+            resolved.workload(),
+            &audit,
+        ));
+        members.push(member("shards", Json::number(resolved.shards() as f64)));
+        members.push(member(
+            "reused_shards",
+            Json::number(resolved.reused_shards() as f64),
+        ));
+        if want_plan {
+            members.push(member("plan", protocol::plan_to_json(resolved.plan())));
+        }
+        Json::Object(members)
+    }
+
+    fn engine_error(&self, op: &str, error: &EngineError) -> Json {
+        self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        protocol::error_response(Some(op), &error.to_string())
+    }
+
+    fn stats_response(&self) -> Json {
+        let shared = self.shared;
+        let cache = shared.engine.cache_stats();
+        let count = |c: &AtomicU64| Json::number(c.load(Ordering::Relaxed) as f64);
+        Json::Object(vec![
+            member("ok", Json::Bool(true)),
+            member("op", Json::string("stats")),
+            member(
+                "cache",
+                Json::Object(vec![
+                    member("hits", Json::number(cache.hits as f64)),
+                    member("misses", Json::number(cache.misses as f64)),
+                    member("entries", Json::number(cache.entries as f64)),
+                    member("capacity", Json::number(cache.capacity as f64)),
+                ]),
+            ),
+            member(
+                "ops",
+                Json::Object(vec![
+                    member("solve", count(&shared.counters.solve)),
+                    member("batch", count(&shared.counters.batch)),
+                    member("resubmit", count(&shared.counters.resubmit)),
+                    member("stats", count(&shared.counters.stats)),
+                    member("shutdown", count(&shared.counters.shutdown)),
+                    member("errors", count(&shared.counters.errors)),
+                ]),
+            ),
+            member(
+                "algorithms",
+                Json::Object(
+                    Algorithm::ALL
+                        .iter()
+                        .zip(&shared.counters.algorithms)
+                        .map(|(a, c)| member(a.name(), count(c)))
+                        .collect(),
+                ),
+            ),
+            member(
+                "connections",
+                Json::number(shared.connections.load(Ordering::SeqCst) as f64),
+            ),
+            member(
+                "plans",
+                Json::number(shared.plans_retained.load(Ordering::SeqCst) as f64),
+            ),
+            member("threads", Json::number(shared.engine.threads() as f64)),
+        ])
+    }
+}
