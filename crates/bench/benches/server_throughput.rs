@@ -5,11 +5,16 @@
 //! * **warm grid** — cache enabled and pre-warmed, so requests measure the
 //!   wire + session + `solve_with` path that a steady-state server runs;
 //! * **batch verb** — the whole grid as one `batch` request, amortizing
-//!   per-line round trips into a single protocol exchange.
+//!   per-line round trips into a single protocol exchange;
+//! * **pipelined** — the same grid on **one connection** with a window of
+//!   `seq`-tagged requests in flight (DESIGN seam #11): no synchronous
+//!   round-trip waits, so a single connection approaches the worker pool's
+//!   saturation throughput instead of being round-trip-bound. Reported
+//!   cold (same work as the cold grid, minus the waiting) and warm (the
+//!   steady-state serving rate); both speedups are against the cold
+//!   sequential baseline, the number the sequential protocol pinned us to.
 //!
-//! Requests go through a real TCP connection on 127.0.0.1, one synchronous
-//! round trip per request (the session serves sequentially, so this is the
-//! per-connection serving rate, not a pipelining stress test). Quick mode
+//! Requests go through a real TCP connection on 127.0.0.1. Quick mode
 //! keeps the grid small for the CI smoke step; `SLADE_BENCH_FULL=1` sweeps
 //! the paper-scale grid. Results land in `BENCH_server.json` (see
 //! `slade_bench::report`) next to the engine and core trajectories.
@@ -43,6 +48,7 @@ fn start_server(cache: usize) -> (Server, std::net::SocketAddr) {
             ..EngineConfig::default()
         },
         request_timeout: Duration::from_secs(600),
+        ..ServerConfig::default()
     })
     .expect("binding a loopback port");
     let addr = server.local_addr();
@@ -118,9 +124,57 @@ fn bench_batch_verb(lines: &[String]) -> f64 {
     best_rps
 }
 
+/// Requests/sec with `window` tagged requests kept in flight on a single
+/// connection (the seam #11 scenario; `window` plays the role of the CLI's
+/// `--pipeline N`).
+fn bench_pipelined(cache: usize, warm: bool, lines: &[String], window: usize) -> f64 {
+    let (server, addr) = start_server(cache);
+    let shutdown = server.shutdown_handle();
+    let running = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).expect("connecting to the bench server");
+    client
+        .set_read_timeout(Some(Duration::from_secs(600)))
+        .unwrap();
+    if warm {
+        // Untimed pass filling the artifact cache.
+        for line in lines {
+            let response = client.roundtrip(line).expect("warm-up round trip");
+            assert!(response.contains("\"ok\":true"), "{response}");
+        }
+    }
+
+    let mut best_rps: f64 = 0.0;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let responses = client
+            .pipeline(lines, window)
+            .expect("pipelined round trips");
+        let rps = lines.len() as f64 / start.elapsed().as_secs_f64();
+        best_rps = best_rps.max(rps);
+        // A real assert (not debug_assert — benches build with
+        // debug_assertions off): it runs outside the timed region, and a
+        // regression answering errors must not report as throughput.
+        assert!(
+            responses.iter().all(|r| r.contains("\"ok\":true")),
+            "pipelined responses must succeed"
+        );
+    }
+
+    shutdown.shutdown();
+    running
+        .join()
+        .expect("server thread must not panic")
+        .expect("server must shut down cleanly");
+    best_rps
+}
+
 fn record(name: &str, n: u64, rps: f64) -> BenchRecord {
     BenchRecord::per_item(name, n, 1e9 / rps.max(f64::MIN_POSITIVE))
 }
+
+/// Window used for the pipelined scenarios (the acceptance bar is ≥ 8).
+const PIPELINE_WINDOW: usize = 32;
 
 fn main() {
     let full = full_sweep();
@@ -136,11 +190,26 @@ fn main() {
     );
     let batch = bench_batch_verb(&lines);
     println!("server/batch/warm   {batch:>10.0} req/s via one batch verb");
+    let pipelined_cold = bench_pipelined(0, false, &lines, PIPELINE_WINDOW);
+    println!(
+        "server/solve/pipelined-cold {pipelined_cold:>10.0} req/s \
+         (window {PIPELINE_WINDOW}, vs cold {:.2}x)",
+        pipelined_cold / cold
+    );
+    let pipelined = bench_pipelined(64, true, &lines, PIPELINE_WINDOW);
+    println!(
+        "server/solve/pipelined      {pipelined:>10.0} req/s \
+         (window {PIPELINE_WINDOW}, steady state, vs cold sequential {:.2}x)",
+        pipelined / cold
+    );
 
     let records = vec![
         record("server/solve/cold", n, cold),
         record("server/solve/warm", n, warm).with_speedup(warm / cold),
         record("server/batch/warm", n, batch).with_speedup(batch / cold),
+        record("server/solve/pipelined-cold", n, pipelined_cold)
+            .with_speedup(pipelined_cold / cold),
+        record("server/solve/pipelined", n, pipelined).with_speedup(pipelined / cold),
     ];
     write_json("BENCH_server.json", &records).expect("writing BENCH_server.json");
 }

@@ -6,7 +6,9 @@
 //! slade-cli simulate [same flags] [--trials K] [--seed S]
 //! slade-cli batch    [--threads N] [--cache N]   (JSONL requests on stdin)
 //! slade-cli serve    [--addr HOST:PORT] [--threads N] [--cache N]
-//! slade-cli client   --connect HOST:PORT          (JSONL requests on stdin)
+//!                    [--max-inflight N]
+//! slade-cli client   --connect HOST:PORT [--pipeline N]
+//!                                                 (JSONL requests on stdin)
 //! slade-cli algorithms
 //! ```
 //!
@@ -67,6 +69,9 @@ OPTIONS (serve):
     --cache N               Artifact-cache capacity in entries, 0 disables
                             [default: 64]
     --timeout-secs S        Per-request solve deadline [default: 60]
+    --max-inflight N        Cap on seq-tagged (pipelined) requests one
+                            session may have in flight; the reader blocks
+                            at the cap (TCP backpressure) [default: 32]
 
 OPTIONS (client):
     --connect HOST:PORT     Server to talk to (required). Requests are read
@@ -74,6 +79,10 @@ OPTIONS (client):
                             lines `batch` accepts, plus the protocol verbs
                             solve/batch/resubmit/stats/shutdown); responses
                             print one per line in request order.
+    --pipeline N            Keep up to N requests in flight on the one
+                            connection (tagging them with `seq`); responses
+                            still print in request order. stats/shutdown
+                            lines act as barriers. [default: off]
 
 Each batch request is one JSON object per line; all fields optional:
     {\"algorithm\": \"opq-extended\", \"tasks\": 1000, \"threshold\": 0.95,
@@ -281,6 +290,7 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
     let mut threads = defaults.threads;
     let mut cache = defaults.cache_capacity;
     let mut timeout_secs: u64 = 60;
+    let mut max_inflight = ServerConfig::default().max_inflight;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -303,6 +313,12 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
                     return Err(CliError::Usage("--timeout-secs must be at least 1".into()));
                 }
             }
+            "--max-inflight" => {
+                max_inflight = parse_num(&value("--max-inflight")?, "--max-inflight")?;
+                if max_inflight == 0 {
+                    return Err(CliError::Usage("--max-inflight must be at least 1".into()));
+                }
+            }
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown flag `{other}` for `serve`"
@@ -318,20 +334,29 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
             ..EngineConfig::default()
         },
         request_timeout: Duration::from_secs(timeout_secs),
+        max_inflight,
+        ..ServerConfig::default()
     })
 }
 
-fn parse_client_options(args: &[String]) -> Result<String, CliError> {
+fn parse_client_options(args: &[String]) -> Result<(String, Option<usize>), CliError> {
     let mut connect: Option<String> = None;
+    let mut pipeline: Option<usize> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
         match flag.as_str() {
-            "--connect" => {
-                connect = Some(
-                    it.next()
-                        .cloned()
-                        .ok_or_else(|| CliError::Usage("--connect needs a value".to_string()))?,
-                );
+            "--connect" => connect = Some(value("--connect")?),
+            "--pipeline" => {
+                let window: usize = parse_num(&value("--pipeline")?, "--pipeline")?;
+                if window == 0 {
+                    return Err(CliError::Usage("--pipeline must be at least 1".into()));
+                }
+                pipeline = Some(window);
             }
             other => {
                 return Err(CliError::Usage(format!(
@@ -340,31 +365,43 @@ fn parse_client_options(args: &[String]) -> Result<String, CliError> {
             }
         }
     }
-    connect.ok_or_else(|| CliError::Usage("`client` needs --connect HOST:PORT".into()))
+    let connect =
+        connect.ok_or_else(|| CliError::Usage("`client` needs --connect HOST:PORT".into()))?;
+    Ok((connect, pipeline))
 }
 
 /// Runs the `client` subcommand over `input` (stdin, injectable for
-/// tests): every nonempty line goes to the server as-is, every response
-/// line prints in request order — the network twin of `batch`.
+/// tests): every nonempty line goes to the server, every response line
+/// prints in request order — the network twin of `batch`. With
+/// `--pipeline N` the lines are seq-tagged and up to N kept in flight on
+/// the one connection (the output order is unchanged; each response then
+/// carries its echoed `seq`).
 fn run_client(args: &[String], input: &str) -> Result<String, CliError> {
-    let addr = parse_client_options(args)?;
+    let (addr, pipeline) = parse_client_options(args)?;
     let mut client = Client::connect(&addr)
         .map_err(|e| CliError::Solve(format!("connecting to {addr}: {e}")))?;
-    let mut out = String::new();
-    for line in input.lines() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
+    let lines: Vec<&str> = input
+        .lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty())
+        .collect();
+    let responses = match pipeline {
+        Some(window) => client
+            .pipeline(&lines, window)
+            .map_err(|e| CliError::Solve(format!("talking to {addr}: {e}")))?,
+        None => {
+            let mut responses = Vec::with_capacity(lines.len());
+            for line in &lines {
+                responses.push(
+                    client
+                        .roundtrip(line)
+                        .map_err(|e| CliError::Solve(format!("talking to {addr}: {e}")))?,
+                );
+            }
+            responses
         }
-        let response = client
-            .roundtrip(line)
-            .map_err(|e| CliError::Solve(format!("talking to {addr}: {e}")))?;
-        if !out.is_empty() {
-            out.push('\n');
-        }
-        out.push_str(&response);
-    }
-    Ok(out)
+    };
+    Ok(responses.join("\n"))
 }
 
 fn parse_batch_options(args: &[String]) -> Result<(usize, usize, bool), CliError> {
@@ -826,14 +863,57 @@ mod tests {
     }
 
     #[test]
+    fn serve_and_client_pipeline_round_trip_over_a_real_socket() {
+        use std::sync::mpsc;
+        use std::thread;
+        use std::time::Duration;
+
+        let (tx, rx) = mpsc::channel();
+        let serving = thread::spawn(move || {
+            run_serve(
+                &argv("--addr 127.0.0.1:0 --threads 2 --cache 8 --max-inflight 4"),
+                &move |a| {
+                    tx.send(a).unwrap();
+                },
+            )
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("server must announce its address");
+
+        // Eight pipelined solves, then the shutdown barrier: responses
+        // print in request order with their echoed seq tags.
+        let mut input = String::new();
+        for n in 1..=8u32 {
+            input.push_str(&format!("{{\"tasks\":{n},\"threshold\":0.9}}\n"));
+        }
+        input.push_str("{\"op\":\"shutdown\"}\n");
+        let out = run_client(&argv(&format!("--connect {addr} --pipeline 4")), &input).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 9, "{out}");
+        for (i, line) in lines[..8].iter().enumerate() {
+            assert!(line.contains(&format!("\"seq\":{i}")), "{i}: {line}");
+            assert!(line.contains(&format!("\"tasks\":{}", i + 1)), "{line}");
+            assert!(line.contains("\"feasible\":true"), "{line}");
+        }
+        assert!(lines[8].contains("\"op\":\"shutdown\""), "{out}");
+
+        let summary = serving.join().unwrap().unwrap();
+        assert!(summary.contains("shut down cleanly"), "{summary}");
+    }
+
+    #[test]
     fn serve_and_client_flag_errors_are_usage_errors() {
         for bad in [
             "serve --frobnicate",
             "serve --threads 0",
             "serve --timeout-secs 0",
+            "serve --max-inflight 0",
             "serve --addr",
             "client",
             "client --port 80",
+            "client --connect 127.0.0.1:9 --pipeline 0",
+            "client --pipeline",
         ] {
             assert!(
                 matches!(run(&argv(bad)), Err(CliError::Usage(_))),

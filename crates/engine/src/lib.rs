@@ -87,7 +87,8 @@ mod service;
 
 pub use cache::{ArtifactCache, CacheKey, CacheStats};
 pub use service::{
-    Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, ResolvedPlan, WorkloadDelta,
+    Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, ResolvedHandle, ResolvedPlan,
+    ShardNotify, WorkloadDelta,
 };
 // The fingerprint type cache keys are built from now lives in `slade_core`,
 // next to the signatures and solver knobs it hashes; re-exported here for

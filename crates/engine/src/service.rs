@@ -14,7 +14,9 @@ use slade_core::task::{TaskId, Workload};
 use slade_core::SladeError;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
+};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -218,6 +220,15 @@ struct Shard {
 type ShardResult = (usize, Result<DecompositionPlan, EngineError>);
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A completion callback cloned into every shard job of one request: it runs
+/// on the worker thread **after** that shard's result has been delivered to
+/// the handle's channel, once per shard. A caller multiplexing many handles
+/// on one thread (the `slade-server` session multiplexer) uses it to learn
+/// *when* to poll [`PlanHandle::try_wait`] / [`ResolvedHandle::try_wait`]
+/// without blocking on any single handle; the callback itself must be cheap
+/// and must not panic (a channel send, a condvar notify).
+pub type ShardNotify = Arc<dyn Fn() + Send + Sync>;
+
 /// The label the requested algorithm's own solver stamps on its plans —
 /// taken from the solver registry itself so it can never drift — so wrapped
 /// engine results compare equal to direct `solve` calls (the derived
@@ -299,6 +310,14 @@ pub struct PlanHandle {
     /// Set when the engine was already shut down at submit time: at least
     /// one shard was never queued, so the handle can only fail.
     shut_down: bool,
+    /// Shard results collected so far (by [`PlanHandle::try_wait`] or a
+    /// blocking wait), index-aligned with `remaps`.
+    subs: Vec<Option<DecompositionPlan>>,
+    /// How many shard results have been received into `subs`.
+    received: usize,
+    /// Set once a result (or error) has been handed out; further
+    /// [`PlanHandle::try_wait`] calls return `None`.
+    spent: bool,
 }
 
 impl PlanHandle {
@@ -319,17 +338,62 @@ impl PlanHandle {
         self.collect(deadline)
     }
 
-    fn collect(self, deadline: Option<Deadline>) -> Result<DecompositionPlan, EngineError> {
+    /// Non-blocking poll: drains whatever shard results have arrived and
+    /// returns `Some` exactly once — when the last shard reports (the merged
+    /// plan, identical to what [`PlanHandle::wait`] would return) or when a
+    /// shard fails. Returns `None` while work is still in flight, and `None`
+    /// forever after the result has been handed out (the handle is *spent*).
+    ///
+    /// Pair it with a [`ShardNotify`] ([`Engine::submit_notify`]) to
+    /// multiplex many handles on one thread without polling in a busy loop:
+    /// each notification means one more shard result is ready to drain.
+    pub fn try_wait(&mut self) -> Option<Result<DecompositionPlan, EngineError>> {
+        if self.spent {
+            return None;
+        }
+        if self.shut_down {
+            self.spent = true;
+            return Some(Err(EngineError::ShutDown));
+        }
+        let shards = self.remaps.len();
+        while self.received < shards {
+            match self.rx.try_recv() {
+                Ok((index, Ok(plan))) => {
+                    self.subs[index] = Some(plan);
+                    self.received += 1;
+                }
+                Ok((_, Err(e))) => {
+                    self.spent = true;
+                    return Some(Err(e));
+                }
+                Err(TryRecvError::Empty) => return None,
+                Err(TryRecvError::Disconnected) => {
+                    self.spent = true;
+                    return Some(Err(EngineError::ShardLost));
+                }
+            }
+        }
+        self.spent = true;
+        let subs: Vec<DecompositionPlan> = self
+            .subs
+            .drain(..)
+            .map(|sub| sub.expect("every shard index reported exactly once"))
+            .collect();
+        Some(Ok(merge_subs(self.wrap, subs, &self.remaps)))
+    }
+
+    fn collect(mut self, deadline: Option<Deadline>) -> Result<DecompositionPlan, EngineError> {
         if self.shut_down {
             return Err(EngineError::ShutDown);
         }
         let shards = self.remaps.len();
-        let mut subs: Vec<Option<DecompositionPlan>> = (0..shards).map(|_| None).collect();
-        for _ in 0..shards {
+        while self.received < shards {
             let (index, result) = recv_shard(&self.rx, deadline)?;
-            subs[index] = Some(result?);
+            self.subs[index] = Some(result?);
+            self.received += 1;
         }
-        let subs = subs
+        let subs = self
+            .subs
             .into_iter()
             .map(|sub| sub.expect("every shard index reported exactly once"));
         Ok(merge_subs(self.wrap, subs, &self.remaps))
@@ -467,6 +531,130 @@ impl ResolvedPlan {
     }
 }
 
+/// Everything a [`ResolvedHandle`] needs besides the live shard channel to
+/// assemble its [`ResolvedPlan`]; taken out of the handle exactly once when
+/// the last shard reports.
+struct ResolvedCore {
+    request: EngineRequest,
+    works: Vec<ShardWork>,
+    remaps: Vec<ShardRemap>,
+    wrap: Option<&'static str>,
+    solver_knobs: slade_core::fingerprint::KnobSink,
+    /// Index-aligned with `works`; shards reused from a prior resolve are
+    /// prefilled, queued shards land as their results arrive.
+    subs: Vec<Option<Arc<DecompositionPlan>>>,
+    reused_shards: usize,
+}
+
+impl ResolvedCore {
+    /// Merges the collected sub-plans into a [`ResolvedPlan`] — the same
+    /// assembly the blocking resolved path has always performed, so the two
+    /// can never diverge.
+    fn finish(self) -> ResolvedPlan {
+        let subs: Vec<Arc<DecompositionPlan>> = self
+            .subs
+            .into_iter()
+            .map(|sub| sub.expect("every shard either reused or reported"))
+            .collect();
+        let plan = match self.wrap {
+            // Unwrapped single shard: the merged plan IS the raw sub-plan —
+            // share it instead of deep-copying (resubmit chains hold many
+            // of these).
+            None => Arc::clone(&subs[0]),
+            Some(_) => Arc::new(merge_subs(
+                self.wrap,
+                subs.iter().map(|sub| (**sub).clone()),
+                &self.remaps,
+            )),
+        };
+        ResolvedPlan {
+            request: self.request,
+            works: self.works,
+            solver_knobs: self.solver_knobs,
+            subs,
+            plan,
+            reused_shards: self.reused_shards,
+        }
+    }
+}
+
+/// A non-blocking handle to an in-flight resolved solve
+/// ([`Engine::submit_resolved`]) or resubmission
+/// ([`Engine::resubmit_submit`]): the [`ResolvedPlan`]-producing twin of
+/// [`PlanHandle`], for callers that multiplex many requests on one thread.
+#[must_use = "a ResolvedHandle does nothing until wait()ed on"]
+pub struct ResolvedHandle {
+    rx: Receiver<ShardResult>,
+    /// Shards actually queued (not reused); completion = this many receipts.
+    outstanding: usize,
+    received: usize,
+    shut_down: bool,
+    /// `Some` until the result (or error) is handed out; `None` = spent.
+    core: Option<ResolvedCore>,
+}
+
+impl ResolvedHandle {
+    /// Blocks until every queued shard has reported; identical result to
+    /// [`Engine::solve_resolved`] / [`Engine::resubmit`] for the same
+    /// submission.
+    pub fn wait(self) -> Result<ResolvedPlan, EngineError> {
+        self.collect(None)
+    }
+
+    /// Like [`ResolvedHandle::wait`] with a deadline, mirroring
+    /// [`Engine::solve_resolved_timeout`]: abandoned shards finish in the
+    /// pool.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<ResolvedPlan, EngineError> {
+        let deadline = deadline_after(timeout);
+        self.collect(deadline)
+    }
+
+    /// Non-blocking poll; the [`ResolvedPlan`] twin of
+    /// [`PlanHandle::try_wait`] with the same spent semantics: `Some` exactly
+    /// once, `None` while shards are in flight and forever afterwards.
+    pub fn try_wait(&mut self) -> Option<Result<ResolvedPlan, EngineError>> {
+        self.core.as_ref()?; // None = spent
+        if self.shut_down {
+            self.core = None;
+            return Some(Err(EngineError::ShutDown));
+        }
+        while self.received < self.outstanding {
+            match self.rx.try_recv() {
+                Ok((index, Ok(plan))) => {
+                    let core = self.core.as_mut().expect("checked above");
+                    core.subs[index] = Some(Arc::new(plan));
+                    self.received += 1;
+                }
+                Ok((_, Err(e))) => {
+                    self.core = None;
+                    return Some(Err(e));
+                }
+                Err(TryRecvError::Empty) => return None,
+                Err(TryRecvError::Disconnected) => {
+                    self.core = None;
+                    return Some(Err(EngineError::ShardLost));
+                }
+            }
+        }
+        let core = self.core.take().expect("checked above");
+        Some(Ok(core.finish()))
+    }
+
+    fn collect(mut self, deadline: Option<Deadline>) -> Result<ResolvedPlan, EngineError> {
+        if self.shut_down {
+            return Err(EngineError::ShutDown);
+        }
+        while self.received < self.outstanding {
+            let (index, result) = recv_shard(&self.rx, deadline)?;
+            let core = self.core.as_mut().expect("collect runs on a live handle");
+            core.subs[index] = Some(Arc::new(result?));
+            self.received += 1;
+        }
+        let core = self.core.take().expect("collect runs on a live handle");
+        Ok(core.finish())
+    }
+}
+
 /// The concurrent decomposition service; see the crate docs for the design.
 ///
 /// [`Engine::shutdown`] (or dropping the engine) closes the job queue and
@@ -549,6 +737,19 @@ impl Engine {
     /// Blocks while the job queue is full (backpressure). Sharding is
     /// decided here, from the request alone.
     pub fn submit(&self, request: EngineRequest) -> PlanHandle {
+        self.submit_with(request, None)
+    }
+
+    /// [`Engine::submit`] with a per-shard completion callback, for callers
+    /// that multiplex many handles via [`PlanHandle::try_wait`]: `notify`
+    /// runs on a worker thread after each shard result is delivered, so one
+    /// multiplexer thread can sleep on its own channel and poll only the
+    /// handle the notification belongs to.
+    pub fn submit_notify(&self, request: EngineRequest, notify: ShardNotify) -> PlanHandle {
+        self.submit_with(request, Some(notify))
+    }
+
+    fn submit_with(&self, request: EngineRequest, notify: Option<ShardNotify>) -> PlanHandle {
         let shards = self.shard(&request);
         let wrap = Self::wrap_of(&shards, &request);
         let (result_tx, result_rx) = channel::<ShardResult>();
@@ -556,14 +757,23 @@ impl Engine {
         let mut shut_down = false;
         for (index, shard) in shards.into_iter().enumerate() {
             remaps.push(shard.remap);
-            shut_down |=
-                !self.enqueue(self.make_job(index, shard.work, &request, result_tx.clone()));
+            shut_down |= !self.enqueue(self.make_job(
+                index,
+                shard.work,
+                &request,
+                result_tx.clone(),
+                notify.clone(),
+            ));
         }
+        let subs = (0..remaps.len()).map(|_| None).collect();
         PlanHandle {
             rx: result_rx,
             remaps,
             wrap,
             shut_down,
+            subs,
+            received: 0,
+            spent: false,
         }
     }
 
@@ -627,16 +837,66 @@ impl Engine {
         self.run_resubmit(prior, delta, deadline_after(timeout))
     }
 
+    /// The non-blocking twin of [`Engine::solve_resolved`]: shards and
+    /// queues the request, returning a [`ResolvedHandle`] to poll or wait
+    /// on. The eventual plan is identical to the blocking path's.
+    pub fn submit_resolved(&self, request: EngineRequest) -> ResolvedHandle {
+        self.submit_resolved_with(request, None, None)
+    }
+
+    /// [`Engine::submit_resolved`] with a per-shard completion callback
+    /// (see [`Engine::submit_notify`]).
+    pub fn submit_resolved_notify(
+        &self,
+        request: EngineRequest,
+        notify: ShardNotify,
+    ) -> ResolvedHandle {
+        self.submit_resolved_with(request, None, Some(notify))
+    }
+
+    /// The non-blocking twin of [`Engine::resubmit`]: applies `delta`,
+    /// reuses unchanged shards, queues the rest, and returns a
+    /// [`ResolvedHandle`]. Fails immediately (without queueing anything)
+    /// when the delta itself is invalid for the prior workload.
+    pub fn resubmit_submit(
+        &self,
+        prior: &ResolvedPlan,
+        delta: &WorkloadDelta,
+    ) -> Result<ResolvedHandle, EngineError> {
+        self.resubmit_submit_with(prior, delta, None)
+    }
+
+    /// [`Engine::resubmit_submit`] with a per-shard completion callback
+    /// (see [`Engine::submit_notify`]).
+    pub fn resubmit_submit_notify(
+        &self,
+        prior: &ResolvedPlan,
+        delta: &WorkloadDelta,
+        notify: ShardNotify,
+    ) -> Result<ResolvedHandle, EngineError> {
+        self.resubmit_submit_with(prior, delta, Some(notify))
+    }
+
+    fn resubmit_submit_with(
+        &self,
+        prior: &ResolvedPlan,
+        delta: &WorkloadDelta,
+        notify: Option<ShardNotify>,
+    ) -> Result<ResolvedHandle, EngineError> {
+        let workload = delta.apply(&prior.request.workload)?;
+        let mut request = prior.request.clone();
+        request.workload = workload;
+        Ok(self.submit_resolved_with(request, Some(prior), notify))
+    }
+
     fn run_resubmit(
         &self,
         prior: &ResolvedPlan,
         delta: &WorkloadDelta,
         deadline: Option<Deadline>,
     ) -> Result<ResolvedPlan, EngineError> {
-        let workload = delta.apply(&prior.request.workload)?;
-        let mut request = prior.request.clone();
-        request.workload = workload;
-        self.run_resolved(request, Some(prior), deadline)
+        self.resubmit_submit_with(prior, delta, None)?
+            .collect(deadline)
     }
 
     /// The knob words of this engine's OPQ-shard solver; raw OPQ sub-plans
@@ -647,14 +907,28 @@ impl Engine {
         knobs
     }
 
-    /// The shared resolved-solve path: shard, reuse what `prior` already
-    /// computed, queue the rest, merge in shard order.
+    /// The shared blocking resolved-solve path: submit, then wait against
+    /// the deadline. (All assembly lives in the handle, so the blocking and
+    /// multiplexed paths cannot diverge.)
     fn run_resolved(
         &self,
         request: EngineRequest,
         prior: Option<&ResolvedPlan>,
         deadline: Option<Deadline>,
     ) -> Result<ResolvedPlan, EngineError> {
+        self.submit_resolved_with(request, prior, None)
+            .collect(deadline)
+    }
+
+    /// The shared resolved-submission path: shard, reuse what `prior`
+    /// already computed, queue the rest, and hand back the collecting
+    /// handle (which merges in shard order).
+    fn submit_resolved_with(
+        &self,
+        request: EngineRequest,
+        prior: Option<&ResolvedPlan>,
+        notify: Option<ShardNotify>,
+    ) -> ResolvedHandle {
         let shards = self.shard(&request);
         let wrap = Self::wrap_of(&shards, &request);
         let solver_knobs = self.solver_knobs();
@@ -665,6 +939,7 @@ impl Engine {
         let (result_tx, result_rx) = channel::<ShardResult>();
         let mut reused_shards = 0;
         let mut outstanding = 0;
+        let mut shut_down = false;
 
         for (index, shard) in shards.into_iter().enumerate() {
             let reusable = prior.and_then(|p| {
@@ -698,48 +973,38 @@ impl Engine {
                     &prior.expect("reusable implies prior").subs[prior_index],
                 ));
                 reused_shards += 1;
-            } else {
-                if !self.enqueue(self.make_job(
-                    index,
-                    shard.work.clone(),
-                    &request,
-                    result_tx.clone(),
-                )) {
-                    return Err(EngineError::ShutDown);
-                }
+            } else if shut_down {
+                // A previous shard already failed to queue; don't bother.
+            } else if self.enqueue(self.make_job(
+                index,
+                shard.work.clone(),
+                &request,
+                result_tx.clone(),
+                notify.clone(),
+            )) {
                 outstanding += 1;
+            } else {
+                shut_down = true;
             }
             works.push(shard.work);
             remaps.push(shard.remap);
         }
 
-        for _ in 0..outstanding {
-            let (index, result) = recv_shard(&result_rx, deadline)?;
-            subs[index] = Some(Arc::new(result?));
-        }
-        let subs: Vec<Arc<DecompositionPlan>> = subs
-            .into_iter()
-            .map(|sub| sub.expect("every shard either reused or reported"))
-            .collect();
-        let plan = match wrap {
-            // Unwrapped single shard: the merged plan IS the raw sub-plan —
-            // share it instead of deep-copying (resubmit chains hold many
-            // of these).
-            None => Arc::clone(&subs[0]),
-            Some(_) => Arc::new(merge_subs(
+        ResolvedHandle {
+            rx: result_rx,
+            outstanding,
+            received: 0,
+            shut_down,
+            core: Some(ResolvedCore {
+                request,
+                works,
+                remaps,
                 wrap,
-                subs.iter().map(|sub| (**sub).clone()),
-                &remaps,
-            )),
-        };
-        Ok(ResolvedPlan {
-            request,
-            works,
-            solver_knobs,
-            subs,
-            plan,
-            reused_shards,
-        })
+                solver_knobs,
+                subs,
+                reused_shards,
+            }),
+        }
     }
 
     /// Queues `job`, returning whether it was accepted (`false` once the
@@ -848,13 +1113,16 @@ impl Engine {
 
     /// Builds the closure one worker will run for `work`. Each job is
     /// unwind-safe at its boundary: a panicking solver becomes an
-    /// [`EngineError::WorkerPanicked`] result, never a wedged handle.
+    /// [`EngineError::WorkerPanicked`] result, never a wedged handle. The
+    /// optional `notify` runs after the result send, so by the time a
+    /// notification is observed the result is ready to `try_recv`.
     fn make_job(
         &self,
         index: usize,
         work: ShardWork,
         request: &EngineRequest,
         result_tx: Sender<ShardResult>,
+        notify: Option<ShardNotify>,
     ) -> Job {
         match work {
             ShardWork::Opq { n, threshold } => {
@@ -874,6 +1142,9 @@ impl Engine {
                         Ok(solver.solve_with(artifacts.as_ref(), &workload, &bins)?)
                     }));
                     let _ = result_tx.send((index, result));
+                    if let Some(notify) = &notify {
+                        notify();
+                    }
                 })
             }
             ShardWork::Prepared => {
@@ -923,6 +1194,9 @@ impl Engine {
                         Ok(solver.solve_with(artifacts.as_ref(), &workload, &bins)?)
                     }));
                     let _ = result_tx.send((index, result));
+                    if let Some(notify) = &notify {
+                        notify();
+                    }
                 })
             }
         }
@@ -1304,6 +1578,132 @@ mod tests {
         let resubmitted = engine.resubmit(&blocking, &delta).unwrap();
         let resubmitted_timed = engine.resubmit_timeout(&timed, &delta, generous).unwrap();
         assert_eq!(*resubmitted.plan(), *resubmitted_timed.plan());
+    }
+
+    #[test]
+    fn try_wait_completes_without_blocking_and_matches_wait() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        let bins = paper_bins();
+        let workload = Workload::heterogeneous(vec![0.3, 0.55, 0.72, 0.9, 0.95]).unwrap();
+        let request = EngineRequest::new(Algorithm::OpqExtended, workload, Arc::clone(&bins));
+        let reference = engine.solve(request.clone()).unwrap();
+
+        let mut handle = engine.submit(request);
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let plan = loop {
+            match handle.try_wait() {
+                Some(result) => break result.unwrap(),
+                None => {
+                    assert!(Instant::now() < deadline, "try_wait never completed");
+                    thread::yield_now();
+                }
+            }
+        };
+        assert_eq!(plan, reference);
+        // Spent: the handle hands its result out exactly once.
+        assert!(handle.try_wait().is_none());
+    }
+
+    #[test]
+    fn shard_notify_fires_once_per_shard_after_the_result_is_ready() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        let bins = paper_bins();
+        // Four well-separated thresholds = four threshold-bucket shards.
+        let workload = Workload::heterogeneous(vec![0.95, 0.72, 0.3, 0.11]).unwrap();
+        let request = EngineRequest::new(Algorithm::OpqExtended, workload, Arc::clone(&bins));
+        let (ping_tx, ping_rx) = std::sync::mpsc::channel::<()>();
+        let notify: ShardNotify = Arc::new(move || {
+            let _ = ping_tx.send(());
+        });
+        let mut handle = engine.submit_notify(request, notify);
+        let mut pings = 0;
+        let result = loop {
+            ping_rx
+                .recv_timeout(Duration::from_secs(20))
+                .expect("a shard must notify");
+            pings += 1;
+            if let Some(result) = handle.try_wait() {
+                break result;
+            }
+        };
+        assert!(result.is_ok());
+        assert_eq!(pings, 4, "one notification per threshold bucket");
+    }
+
+    #[test]
+    fn submit_resolved_and_resubmit_submit_match_their_blocking_twins() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        });
+        let bins = paper_bins();
+        let request = EngineRequest::new(
+            Algorithm::OpqBased,
+            Workload::homogeneous(40, 0.95).unwrap(),
+            Arc::clone(&bins),
+        );
+        let blocking = engine.solve_resolved(request.clone()).unwrap();
+        let submitted = engine.submit_resolved(request).wait().unwrap();
+        assert_eq!(*blocking.plan(), *submitted.plan());
+
+        let delta = WorkloadDelta::Resize(60);
+        let blocking_re = engine.resubmit(&blocking, &delta).unwrap();
+        let mut handle = engine.resubmit_submit(&submitted, &delta).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let polled = loop {
+            match handle.try_wait() {
+                Some(result) => break result.unwrap(),
+                None => {
+                    assert!(Instant::now() < deadline, "resubmit handle never completed");
+                    thread::yield_now();
+                }
+            }
+        };
+        assert_eq!(*blocking_re.plan(), *polled.plan());
+        assert_eq!(blocking_re.reused_shards(), polled.reused_shards());
+        assert!(handle.try_wait().is_none(), "spent after delivering");
+
+        // An invalid delta fails at submission, before anything queues.
+        let hetero_prior = engine
+            .solve_resolved(EngineRequest::new(
+                Algorithm::OpqExtended,
+                Workload::heterogeneous(vec![0.5, 0.9]).unwrap(),
+                bins,
+            ))
+            .unwrap();
+        assert!(matches!(
+            engine.resubmit_submit(&hetero_prior, &WorkloadDelta::Resize(10)),
+            Err(EngineError::Solve(_))
+        ));
+    }
+
+    #[test]
+    fn handles_surface_shutdown_through_try_wait() {
+        let engine = Engine::new(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        });
+        engine.shutdown();
+        let bins = paper_bins();
+        let request = EngineRequest::new(
+            Algorithm::OpqBased,
+            Workload::homogeneous(4, 0.95).unwrap(),
+            bins,
+        );
+        let mut handle = engine.submit(request.clone());
+        assert_eq!(handle.try_wait(), Some(Err(EngineError::ShutDown)));
+        assert!(handle.try_wait().is_none());
+        let mut resolved = engine.submit_resolved(request);
+        match resolved.try_wait() {
+            Some(Err(EngineError::ShutDown)) => {}
+            other => panic!("expected ShutDown, got {:?}", other.map(|r| r.map(|_| ()))),
+        }
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! A small synchronous client for the line-delimited JSON protocol, used
 //! by `slade-cli client`, the loopback benchmarks, and the e2e tests.
+//!
+//! Besides the strict request/response [`Client::roundtrip`], the client
+//! speaks the protocol's pipelining dialect: [`Client::pipeline`] tags
+//! requests with `seq`, keeps a window of them in flight on one
+//! connection, and reorders the out-of-order responses back into request
+//! order.
 
-use crate::json::{self, Json};
+use crate::json::{self, member, Json};
 use crate::line::LineBuffer;
+use std::collections::HashMap;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -88,4 +95,104 @@ impl Client {
             )
         })
     }
+
+    /// Issues `lines` with up to `window` requests in flight on this one
+    /// connection, returning the responses **in request order** (each with
+    /// its echoed `seq` member — strip it when comparing against sequential
+    /// responses).
+    ///
+    /// Lines whose verb supports pipelining (`solve` — including the bare
+    /// default — `batch`, `resubmit`) and that carry no `seq` of their own
+    /// are tagged with `"seq": <line index>` and streamed. Everything else —
+    /// `stats`, `shutdown`, unknown verbs, malformed lines, lines already
+    /// tagged — acts as a **barrier**: every outstanding response is
+    /// collected first, then the line runs as a plain round trip at its
+    /// position in the stream. (That keeps "`shutdown` as the last line"
+    /// scripts working unchanged, and matches the server's rule that stats
+    /// and shutdown answer in stream position.)
+    ///
+    /// A streamed line the *server* rejects (unknown field, bad engine
+    /// values) is not an error of this call: the server echoes the tag on
+    /// its structured error response, so the `{"ok":false,…}` line lands in
+    /// the request's slot like any other response.
+    ///
+    /// Empty/whitespace lines produce an empty response string (the server
+    /// treats them as JSONL padding and never answers them).
+    pub fn pipeline<S: AsRef<str>>(
+        &mut self,
+        lines: &[S],
+        window: usize,
+    ) -> io::Result<Vec<String>> {
+        let window = window.max(1);
+        let mut responses: Vec<Option<String>> = (0..lines.len()).map(|_| None).collect();
+        // seq (the line index) → response slot still outstanding.
+        let mut outstanding: HashMap<u64, usize> = HashMap::new();
+        for (index, line) in lines.iter().enumerate() {
+            let line = line.as_ref().trim();
+            if line.is_empty() {
+                responses[index] = Some(String::new());
+                continue;
+            }
+            match tag_with_seq(line, index as u64) {
+                Some(tagged) => {
+                    while outstanding.len() >= window {
+                        self.collect_one(&mut outstanding, &mut responses)?;
+                    }
+                    self.send_line(&tagged.to_string())?;
+                    outstanding.insert(index as u64, index);
+                }
+                None => {
+                    // Barrier: drain the window, then run in line.
+                    while !outstanding.is_empty() {
+                        self.collect_one(&mut outstanding, &mut responses)?;
+                    }
+                    responses[index] = Some(self.roundtrip(line)?);
+                }
+            }
+        }
+        while !outstanding.is_empty() {
+            self.collect_one(&mut outstanding, &mut responses)?;
+        }
+        Ok(responses
+            .into_iter()
+            .map(|slot| slot.expect("every line is answered or padded"))
+            .collect())
+    }
+
+    /// Receives one pipelined response and files it under its echoed seq.
+    fn collect_one(
+        &mut self,
+        outstanding: &mut HashMap<u64, usize>,
+        responses: &mut [Option<String>],
+    ) -> io::Result<()> {
+        let line = self.recv_line()?;
+        let invalid =
+            |what: &str| io::Error::new(ErrorKind::InvalidData, format!("{what}: `{line}`"));
+        let value = json::parse(&line).map_err(|_| invalid("unparseable pipelined response"))?;
+        let seq = value
+            .get("seq")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| invalid("pipelined response without a numeric seq"))?;
+        let index = outstanding
+            .remove(&(seq as u64))
+            .ok_or_else(|| invalid("pipelined response with an unknown seq"))?;
+        responses[index] = Some(line);
+        Ok(())
+    }
+}
+
+/// Tags `line` for pipelining, or `None` when it must run as a barrier.
+fn tag_with_seq(line: &str, seq: u64) -> Option<Json> {
+    let value = json::parse(line).ok()?;
+    let members = value.members()?;
+    let op = match value.get("op") {
+        None => "solve",
+        Some(v) => v.as_str()?,
+    };
+    if !matches!(op, "solve" | "batch" | "resubmit") || value.get("seq").is_some() {
+        return None;
+    }
+    let mut members = members.to_vec();
+    members.push(member("seq", Json::number(seq as f64)));
+    Some(Json::Object(members))
 }

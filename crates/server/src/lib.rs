@@ -17,17 +17,34 @@
 //! to the serialized bytes — the shared [`json`] serializer prints floats
 //! in shortest-round-trip form precisely so that contract is testable).
 //!
+//! Sessions are **pipelined and multiplexed**: a `solve`/`batch`/
+//! `resubmit` carrying a client-chosen `"seq"` tag is dispatched without
+//! blocking the session's read loop and answered as it completes —
+//! possibly out of request order, the response echoing the tag — so one
+//! connection can keep the whole worker pool saturated instead of paying
+//! a round trip per request. Untagged traffic keeps the strict
+//! request/response protocol unchanged; [`ServerConfig::max_inflight`]
+//! caps the tagged window with real backpressure. [`Client::pipeline`] is
+//! the client-side counterpart; see [`protocol`] for the `seq` rules
+//! (each session runs a reader / multiplexer / writer thread triple —
+//! `src/server.rs` documents the anatomy and its invariants, mirrored in
+//! DESIGN.md).
+//!
 //! Robustness posture:
 //!
 //! * malformed input (bad JSON, unknown verbs/fields, a `resubmit`
-//!   against a missing plan id) gets a structured `{"ok":false,…}` error
-//!   and the connection survives;
+//!   against a missing plan id, a `resubmit` racing the in-flight tagged
+//!   request that produces its plan id) gets a structured
+//!   `{"ok":false,…}` error and the connection survives;
 //! * solves run under the engine's timeout-aware waits and session reads
 //!   poll with a short timeout, so neither a stuck request nor a silent
-//!   client can wedge the acceptor or a shutdown drain;
+//!   client can wedge the acceptor or a shutdown drain; an overdue
+//!   *tagged* request is expired by the session's multiplexer with a
+//!   structured error while the rest of the window keeps serving;
 //! * shutdown (the in-band `shutdown` verb or a [`ShutdownHandle`]) is
-//!   graceful: the acceptor stops, sessions finish their current request,
-//!   and [`Engine::shutdown`] drains the worker pool deterministically.
+//!   graceful: the acceptor stops, sessions drain their tagged in-flight
+//!   requests and finish their current request, and [`Engine::shutdown`]
+//!   drains the worker pool deterministically.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +67,17 @@
 //!     .roundtrip(r#"{"op":"resubmit","id":"w","delta":{"resize":100}}"#)
 //!     .unwrap();
 //! assert!(reply.contains("\"tasks\":100"), "{reply}");
+//!
+//! // Pipelined: four solves in flight at once on this one connection;
+//! // responses come back in request order, each echoing its seq tag.
+//! let lines: Vec<String> = (1..=4)
+//!     .map(|n| format!(r#"{{"tasks":{n},"threshold":0.9}}"#))
+//!     .collect();
+//! let replies = client.pipeline(&lines, 4).unwrap();
+//! for (i, reply) in replies.iter().enumerate() {
+//!     assert!(reply.contains(&format!("\"seq\":{i}")), "{reply}");
+//!     assert!(reply.contains("\"feasible\":true"), "{reply}");
+//! }
 //! client.roundtrip(r#"{"op":"shutdown"}"#).unwrap();
 //! running.join().unwrap();
 //! ```
@@ -66,4 +94,4 @@ pub mod protocol;
 mod server;
 
 pub use client::Client;
-pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use server::{RequestMiddleware, Server, ServerConfig, ShutdownHandle};

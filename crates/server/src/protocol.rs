@@ -6,11 +6,24 @@
 //!
 //! | verb | request members | response |
 //! |------|-----------------|----------|
-//! | `solve` | the engine fields (`algorithm`, `tasks`, `threshold`, `thresholds`, `bins`, `seed`), optional `id` (retain the resolved plan in the session), optional `plan` (include the full plan) | summary + shard/reuse counters |
-//! | `batch` | `requests`: array of engine-field objects | per-request summaries, in order |
-//! | `resubmit` | `id`, `delta` (one of `resize` / `set_thresholds` / `append`), optional `plan` | summary + reuse counters for the re-solve |
-//! | `stats` | — | cache, per-op and per-algorithm counters |
-//! | `shutdown` | — | ack; the server then drains and exits |
+//! | `solve` | the engine fields (`algorithm`, `tasks`, `threshold`, `thresholds`, `bins`, `seed`), optional `id` (retain the resolved plan in the session), optional `plan` (include the full plan), optional `seq` (pipeline the request) | summary + shard/reuse counters |
+//! | `batch` | `requests`: array of engine-field objects, optional `seq` | per-request summaries, in order |
+//! | `resubmit` | `id`, `delta` (one of `resize` / `set_thresholds` / `append`), optional `plan`, optional `seq` | summary + reuse counters for the re-solve |
+//! | `stats` | — (`seq` is rejected: stats answer in line, at their position in the request stream) | cache, per-op and per-algorithm counters |
+//! | `shutdown` | — (`seq` is rejected: shutdown first drains every tagged in-flight request, then acks) | ack; the server then drains and exits |
+//!
+//! ## Pipelining (`seq`)
+//!
+//! A `solve`/`batch`/`resubmit` request may carry a client-chosen `seq`
+//! tag (a string or a non-negative integer). Tagged requests are
+//! dispatched to the engine **without blocking the session's read loop**
+//! and answered *as they complete* — possibly out of request order — with
+//! the response echoing the tag verbatim as its own `seq` member. Untagged
+//! requests keep the strict request/response semantics: the session
+//! executes them in line, so a client that never sends `seq` observes
+//! exactly the pre-pipelining protocol. Response *bytes* are unaffected by
+//! tagging: a tagged response equals its untagged counterpart plus the
+//! echoed `seq` member.
 //!
 //! Responses always carry `"ok": true` or `"ok": false` with an `"error"`
 //! string; a failed request never costs the connection. The full-plan
@@ -42,11 +55,16 @@ pub enum Request {
         id: Option<String>,
         /// Whether the response should embed the full plan.
         want_plan: bool,
+        /// Pipelining tag; `Some` makes this request non-blocking (see the
+        /// module docs).
+        seq: Option<Json>,
     },
     /// Solve several instances concurrently, summaries in request order.
     Batch {
         /// The engine requests, in order.
         requests: Vec<EngineRequest>,
+        /// Pipelining tag; `Some` makes this request non-blocking.
+        seq: Option<Json>,
     },
     /// Re-solve a retained plan under a workload delta.
     Resubmit {
@@ -56,6 +74,8 @@ pub enum Request {
         delta: WorkloadDelta,
         /// Whether the response should embed the full plan.
         want_plan: bool,
+        /// Pipelining tag; `Some` makes this request non-blocking.
+        seq: Option<Json>,
     },
     /// Report server counters.
     Stats,
@@ -79,18 +99,19 @@ pub fn parse_request(line: &str, default_bins: &Arc<BinSet>) -> Result<Request, 
     };
     match op {
         "solve" => {
-            let request = parse_engine_request(&value, default_bins, &["op", "id", "plan"])?;
+            let request = parse_engine_request(&value, default_bins, &["op", "id", "plan", "seq"])?;
             Ok(Request::Solve {
                 request,
                 id: optional_string(&value, "id")?,
                 want_plan: optional_bool(&value, "plan")?,
+                seq: optional_seq(&value)?,
             })
         }
         "batch" => {
             for (key, _) in members {
-                if !matches!(key.as_str(), "op" | "requests") {
+                if !matches!(key.as_str(), "op" | "requests" | "seq") {
                     return Err(format!(
-                        "unknown field `{key}` for `batch` (expected op, requests)"
+                        "unknown field `{key}` for `batch` (expected op, requests, seq)"
                     ));
                 }
             }
@@ -106,13 +127,16 @@ pub fn parse_request(line: &str, default_bins: &Arc<BinSet>) -> Result<Request, 
                         .map_err(|e| format!("request {i}: {e}"))
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(Request::Batch { requests })
+            Ok(Request::Batch {
+                requests,
+                seq: optional_seq(&value)?,
+            })
         }
         "resubmit" => {
             for (key, _) in members {
-                if !matches!(key.as_str(), "op" | "id" | "delta" | "plan") {
+                if !matches!(key.as_str(), "op" | "id" | "delta" | "plan" | "seq") {
                     return Err(format!(
-                        "unknown field `{key}` for `resubmit` (expected op, id, delta, plan)"
+                        "unknown field `{key}` for `resubmit` (expected op, id, delta, plan, seq)"
                     ));
                 }
             }
@@ -123,6 +147,7 @@ pub fn parse_request(line: &str, default_bins: &Arc<BinSet>) -> Result<Request, 
                 id,
                 delta: parse_delta(delta)?,
                 want_plan: optional_bool(&value, "plan")?,
+                seq: optional_seq(&value)?,
             })
         }
         "stats" | "shutdown" => {
@@ -337,6 +362,39 @@ fn optional_bool(value: &Json, key: &str) -> Result<bool, String> {
     }
 }
 
+/// Parses the optional pipelining tag: a string, or a non-negative integer
+/// strictly below 2⁵³ — the range in which every integer has a unique
+/// `f64` representation, so the echoed tag is always byte-identical to
+/// what the client sent and distinct tags can never collide. (At 2⁵³
+/// itself, 2⁵³ and 2⁵³+1 already parse to the same double.)
+fn optional_seq(value: &Json) -> Result<Option<Json>, String> {
+    match value.get("seq") {
+        None => Ok(None),
+        Some(v @ Json::String(_)) => Ok(Some(v.clone())),
+        Some(v @ Json::Number(x)) => {
+            if *x < 0.0 || x.fract() != 0.0 || *x >= 9.007_199_254_740_992e15 {
+                return Err(format!(
+                    "`seq` must be a string or a non-negative integer below 2^53, got {x}"
+                ));
+            }
+            Ok(Some(v.clone()))
+        }
+        Some(v) => Err(format!(
+            "`seq` must be a string or a non-negative integer, got {}",
+            v.type_name()
+        )),
+    }
+}
+
+/// Best-effort recovery of a valid `seq` tag from a request line that
+/// failed parsing, so even the error response can echo the tag and a
+/// pipelining client can correlate it. `None` when the line has no
+/// recoverable tag (unparseable JSON, missing or invalid `seq`).
+pub fn recover_seq(line: &str) -> Option<Json> {
+    let value = json::parse(line).ok()?;
+    optional_seq(&value).ok().flatten()
+}
+
 /// The canonical JSON form of a [`DecompositionPlan`]: algorithm label,
 /// accumulated cost, and every posted bin with its task assignment. Costs
 /// and thresholds serialize in shortest-round-trip form, so two plans are
@@ -389,11 +447,15 @@ pub fn plan_summary_members(
 }
 
 /// A structured error response; `op` is included when the failing verb is
-/// known (parse failures happen before the verb is).
-pub fn error_response(op: Option<&str>, message: &str) -> Json {
+/// known (parse failures happen before the verb is), `seq` when the failing
+/// request was tagged (so pipelining clients can correlate the error).
+pub fn error_response(op: Option<&str>, seq: Option<&Json>, message: &str) -> Json {
     let mut members = vec![member("ok", Json::Bool(false))];
     if let Some(op) = op {
         members.push(member("op", Json::string(op)));
+    }
+    if let Some(seq) = seq {
+        members.push(member("seq", seq.clone()));
     }
     members.push(member("error", Json::string(message)));
     Json::Object(members)
@@ -413,13 +475,14 @@ mod tests {
             request,
             id,
             want_plan,
+            seq,
         } = parse_request("{}", &bins()).unwrap()
         else {
             panic!("expected a solve");
         };
         assert_eq!(request.algorithm, Algorithm::OpqBased);
         assert_eq!(request.workload.len(), 4);
-        assert!(id.is_none() && !want_plan);
+        assert!(id.is_none() && !want_plan && seq.is_none());
     }
 
     #[test]
@@ -429,6 +492,7 @@ mod tests {
             request,
             id,
             want_plan,
+            seq,
         } = parse_request(line, &bins()).unwrap()
         else {
             panic!("expected a solve");
@@ -436,7 +500,85 @@ mod tests {
         assert_eq!(request.algorithm, Algorithm::Greedy);
         assert_eq!(request.workload.len(), 7);
         assert_eq!(id.as_deref(), Some("w"));
-        assert!(want_plan);
+        assert!(want_plan && seq.is_none());
+    }
+
+    #[test]
+    fn seq_tags_parse_on_every_pipelinable_verb() {
+        let Request::Solve { seq, .. } = parse_request(r#"{"tasks":4,"seq":7}"#, &bins()).unwrap()
+        else {
+            panic!("expected a solve");
+        };
+        assert_eq!(seq, Some(Json::Number(7.0)));
+
+        let Request::Solve { seq, .. } =
+            parse_request(r#"{"op":"solve","seq":"alpha-1"}"#, &bins()).unwrap()
+        else {
+            panic!("expected a solve");
+        };
+        assert_eq!(seq, Some(Json::string("alpha-1")));
+
+        let Request::Batch { seq, requests } =
+            parse_request(r#"{"op":"batch","requests":[{}],"seq":0}"#, &bins()).unwrap()
+        else {
+            panic!("expected a batch");
+        };
+        assert_eq!(seq, Some(Json::Number(0.0)));
+        assert_eq!(requests.len(), 1);
+
+        let line = r#"{"op":"resubmit","id":"w","delta":{"resize":9},"seq":"r"}"#;
+        let Request::Resubmit { seq, .. } = parse_request(line, &bins()).unwrap() else {
+            panic!("expected a resubmit");
+        };
+        assert_eq!(seq, Some(Json::string("r")));
+    }
+
+    #[test]
+    fn invalid_seq_tags_are_rejected_with_reasons() {
+        for (line, needle) in [
+            (r#"{"tasks":4,"seq":true}"#, "`seq` must be a string"),
+            (r#"{"tasks":4,"seq":-1}"#, "`seq` must be a string"),
+            (r#"{"tasks":4,"seq":1.5}"#, "`seq` must be a string"),
+            (r#"{"tasks":4,"seq":null}"#, "`seq` must be a string"),
+            // 2^53: the first integer whose f64 neighbors collide — distinct
+            // client tags must never alias, so the boundary is excluded.
+            (
+                r#"{"tasks":4,"seq":9007199254740992}"#,
+                "`seq` must be a string",
+            ),
+            // stats and shutdown are deliberately un-pipelinable: their
+            // semantics are tied to their position in the request stream.
+            (r#"{"op":"stats","seq":1}"#, "unknown field `seq`"),
+            (r#"{"op":"shutdown","seq":1}"#, "unknown field `seq`"),
+        ] {
+            let err = parse_request(line, &bins()).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+        // The largest uniquely-representable integer is still accepted.
+        let Request::Solve { seq, .. } =
+            parse_request(r#"{"tasks":4,"seq":9007199254740991}"#, &bins()).unwrap()
+        else {
+            panic!("expected a solve");
+        };
+        assert_eq!(seq, Some(Json::Number(9_007_199_254_740_991.0)));
+    }
+
+    #[test]
+    fn recover_seq_salvages_valid_tags_from_rejected_lines() {
+        // A tagged line that fails engine-field parsing still yields its
+        // tag, so the server's error response can echo it.
+        assert_eq!(
+            recover_seq(r#"{"algorithm":"bogus","seq":7}"#),
+            Some(Json::Number(7.0))
+        );
+        assert_eq!(
+            recover_seq(r#"{"frob":1,"seq":"a"}"#),
+            Some(Json::string("a"))
+        );
+        // Nothing recoverable: unparseable JSON, missing tag, invalid tag.
+        assert_eq!(recover_seq("{oops}"), None);
+        assert_eq!(recover_seq(r#"{"tasks":4}"#), None);
+        assert_eq!(recover_seq(r#"{"tasks":4,"seq":true}"#), None);
     }
 
     #[test]

@@ -2,26 +2,69 @@
 //! [`Engine`], with per-connection sessions holding resolved plans.
 //!
 //! Std-only by construction (the build environment has no async runtime):
-//! the acceptor blocks in `accept`, each connection gets a session thread,
-//! and shutdown is cooperative — a `shutdown` request (or a
-//! [`ShutdownHandle`]) sets the flag, wakes the acceptor with a loopback
-//! connect, sessions notice via their read-timeout poll, and the engine
-//! drains deterministically before [`Server::run`] returns. Session reads
-//! poll on a short timeout and solves go through the engine's
-//! timeout-aware waits, so neither a silent client nor a stuck solve can
-//! wedge the drain.
+//! the acceptor blocks in `accept`, each connection gets a session, and
+//! shutdown is cooperative — a `shutdown` request (or a [`ShutdownHandle`])
+//! sets the flag, wakes the acceptor with a loopback connect, sessions
+//! notice via their read-timeout poll, and the engine drains
+//! deterministically before [`Server::run`] returns.
+//!
+//! ## Session anatomy (pipelining)
+//!
+//! A session is three cooperating threads over one connection:
+//!
+//! * the **reader** owns the read half: it frames request lines, executes
+//!   untagged requests in line (strict request/response, exactly the
+//!   pre-pipelining behavior), and dispatches `seq`-tagged requests to the
+//!   engine without blocking — each becomes an in-flight entry handed to
+//!   the multiplexer;
+//! * the **multiplexer** owns every in-flight tagged request: engine
+//!   workers ping it (via [`ShardNotify`]) as shards complete, it polls the
+//!   pinged handle with a non-blocking `try_wait`, and finished requests
+//!   are answered *in completion order*, each response echoing its `seq`.
+//!   It also enforces the per-request deadline (an overdue tagged request
+//!   gets a structured timeout error; its shards are abandoned to the
+//!   pool) and drains remaining work at session end;
+//! * the **writer** owns the write half: both other threads queue
+//!   responses on its channel, so response lines never interleave
+//!   mid-line and a stalled client (write timeout) kills at most this
+//!   connection.
+//!
+//! In-flight tagged requests are capped by [`ServerConfig::max_inflight`]:
+//! the reader blocks once the cap is reached (it stops draining the
+//! socket, which is TCP backpressure), and a slot frees whenever the
+//! multiplexer completes, expires, or discards an entry — so the cap is an
+//! invariant, not a best effort. Duplicate in-flight `seq` tags are
+//! rejected with a structured error (responses would be unattributable).
+//!
+//! Ordering rules, also documented on [`protocol`]:
+//!
+//! * untagged requests are answered in request order, at their position in
+//!   the stream (tagged responses may interleave around them);
+//! * `stats` executes when the reader reaches it: its counters reflect
+//!   every request *dispatched* before it, not necessarily completed;
+//! * `shutdown` first drains every tagged in-flight request of this
+//!   session (each gets its normal response, bounded by its deadline),
+//!   then acks, then stops the server. A session that ends any other way
+//!   (EOF, server shutdown, over-long line) drains the same way; only a
+//!   dead connection (write failure) discards in-flight responses.
 
 use crate::json::{member, Json};
 use crate::line::LineBuffer;
 use crate::protocol::{self, Request};
 use slade_core::bin_set::BinSet;
+use slade_core::plan::DecompositionPlan;
 use slade_core::solver::Algorithm;
-use slade_engine::{Engine, EngineConfig, EngineError, EngineRequest, ResolvedPlan};
-use std::collections::HashMap;
+use slade_engine::{
+    Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, ResolvedHandle, ResolvedPlan,
+    ShardNotify,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -44,8 +87,15 @@ const MAX_REQUEST_LINE: usize = 64 * 1024 * 1024;
 /// Number of registered algorithms, for the per-algorithm counter array.
 const ALGORITHMS: usize = Algorithm::ALL.len();
 
+/// A hook applied to every parsed [`EngineRequest`] before it reaches the
+/// engine — an extension seam for embedding policy (quotas, rewrites,
+/// per-tenant solver configuration) and the fault-injection vehicle for the
+/// crate's own concurrency tests (wrap a sentinel request with a slow or
+/// panicking [`with_solver`](EngineRequest::with_solver) override).
+pub type RequestMiddleware = Arc<dyn Fn(EngineRequest) -> EngineRequest + Send + Sync>;
+
 /// Configuration of a [`Server`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Address to bind, e.g. `"127.0.0.1:7878"`; port `0` picks an
     /// ephemeral port (read it back with [`Server::local_addr`]).
@@ -56,6 +106,28 @@ pub struct ServerConfig {
     /// gets a structured error response (the connection survives); the
     /// abandoned shards finish in the pool.
     pub request_timeout: Duration,
+    /// Maximum `seq`-tagged requests one session may have in flight
+    /// (clamped to at least 1). At the cap the reader stops draining the
+    /// socket until a slot frees — TCP backpressure, never an unbounded
+    /// queue.
+    pub max_inflight: usize,
+    /// Optional per-request hook; see [`RequestMiddleware`].
+    pub request_middleware: Option<RequestMiddleware>,
+}
+
+impl fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("addr", &self.addr)
+            .field("engine", &self.engine)
+            .field("request_timeout", &self.request_timeout)
+            .field("max_inflight", &self.max_inflight)
+            .field(
+                "request_middleware",
+                &self.request_middleware.as_ref().map(|_| "<hook>"),
+            )
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -64,6 +136,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             engine: EngineConfig::default(),
             request_timeout: Duration::from_secs(60),
+            max_inflight: 32,
+            request_middleware: None,
         }
     }
 }
@@ -76,6 +150,8 @@ struct Counters {
     resubmit: AtomicU64,
     stats: AtomicU64,
     shutdown: AtomicU64,
+    /// Requests that arrived with a `seq` tag (also counted under their op).
+    pipelined: AtomicU64,
     errors: AtomicU64,
     algorithms: [AtomicU64; ALGORITHMS],
 }
@@ -88,6 +164,10 @@ impl Counters {
             .expect("every algorithm is in the registry");
         self.algorithms[index].fetch_add(1, Ordering::Relaxed);
     }
+
+    fn count_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// State shared by the acceptor, every session thread, and shutdown
@@ -97,11 +177,22 @@ struct Shared {
     shutdown: AtomicBool,
     local_addr: SocketAddr,
     request_timeout: Duration,
+    max_inflight: usize,
+    middleware: Option<RequestMiddleware>,
     counters: Counters,
     /// Sessions currently connected.
     connections: AtomicUsize,
     /// Resolved plans currently retained across all sessions.
     plans_retained: AtomicUsize,
+}
+
+impl Shared {
+    fn apply_middleware(&self, request: EngineRequest) -> EngineRequest {
+        match &self.middleware {
+            Some(hook) => hook(request),
+            None => request,
+        }
+    }
 }
 
 /// Flips the shutdown flag and wakes the blocked acceptor with a loopback
@@ -145,6 +236,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             local_addr,
             request_timeout: config.request_timeout,
+            max_inflight: config.max_inflight.max(1),
+            middleware: config.request_middleware,
             counters: Counters::default(),
             connections: AtomicUsize::new(0),
             plans_retained: AtomicUsize::new(0),
@@ -208,66 +301,264 @@ impl Server {
 /// One connection: counts itself in, serves lines, counts itself out.
 fn session(stream: TcpStream, shared: &Shared) {
     shared.connections.fetch_add(1, Ordering::SeqCst);
-    let mut state = Session {
+    let state = Session {
         shared,
-        plans: HashMap::new(),
+        plans: Mutex::new(SessionPlans::default()),
+        gate: Gate::default(),
         default_bins: Arc::new(BinSet::paper_example()),
     };
     let _ = state.serve(&stream);
-    shared
-        .plans_retained
-        .fetch_sub(state.plans.len(), Ordering::SeqCst);
+    let retained = lock(&state.plans).plans.len();
+    shared.plans_retained.fetch_sub(retained, Ordering::SeqCst);
     shared.connections.fetch_sub(1, Ordering::SeqCst);
 }
 
-/// Per-connection state: the retained resolved plans, keyed by the
-/// client-chosen plan id. Sessions are isolated — ids never leak across
-/// connections.
+/// Locks a mutex, shrugging off poisoning: session state stays usable even
+/// if a sibling thread panicked mid-update (the panic still fails tests).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The session's plan namespace: retained plans by client-chosen id, plus
+/// the ids whose *producing* tagged request has not completed yet. A
+/// `resubmit` against a pending id is a structured error, never a race —
+/// the id resolves to a plan only once its producer has answered.
+#[derive(Default)]
+struct SessionPlans {
+    plans: HashMap<String, Arc<ResolvedPlan>>,
+    /// id → serialized `seq` of the in-flight request producing it.
+    pending: HashMap<String, String>,
+}
+
+/// The in-flight admission gate: counts tagged requests and remembers
+/// their serialized `seq` tags (duplicates among in-flight tags are
+/// rejected). The reader blocks in [`Gate::acquire`] at the cap; the
+/// multiplexer frees slots as entries complete.
+#[derive(Default)]
+struct Gate {
+    state: Mutex<GateState>,
+    freed: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    count: usize,
+    seqs: HashSet<String>,
+}
+
+enum Admission {
+    Admitted,
+    /// The tag is already in flight on this session.
+    Duplicate,
+    /// The session is going away; the request is dropped.
+    Aborted,
+}
+
+impl Gate {
+    /// Blocks until a slot is free (or `abort` turns true), then admits
+    /// `seq_key`.
+    fn acquire(&self, seq_key: &str, cap: usize, abort: impl Fn() -> bool) -> Admission {
+        let mut state = lock(&self.state);
+        loop {
+            if state.seqs.contains(seq_key) {
+                return Admission::Duplicate;
+            }
+            if state.count < cap {
+                state.count += 1;
+                state.seqs.insert(seq_key.to_string());
+                return Admission::Admitted;
+            }
+            if abort() {
+                return Admission::Aborted;
+            }
+            let (next, _timed_out) = self
+                .freed
+                .wait_timeout(state, READ_POLL)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = next;
+        }
+    }
+
+    fn release(&self, seq_key: &str) {
+        let mut state = lock(&self.state);
+        state.count = state.count.saturating_sub(1);
+        state.seqs.remove(seq_key);
+        self.freed.notify_all();
+    }
+}
+
+/// What one tagged request is waiting on.
+enum PendingWork {
+    /// A tagged `solve` or `resubmit`.
+    Single {
+        op: &'static str,
+        /// Plan id this request produces (always the request id for
+        /// `resubmit`, the optional retain id for `solve`).
+        id: Option<String>,
+        want_plan: bool,
+        handle: ResolvedHandle,
+    },
+    /// A tagged `batch`: one engine handle per sub-request.
+    Batch {
+        requests: Vec<EngineRequest>,
+        handles: Vec<PlanHandle>,
+        results: Vec<Option<Result<DecompositionPlan, EngineError>>>,
+    },
+}
+
+/// One tagged request in flight on a session.
+struct InFlight {
+    seq: Json,
+    seq_key: String,
+    deadline: Option<Instant>,
+    /// The result of `Single` work once its handle delivered (a non-
+    /// blocking `try_wait` hands its result out exactly once, so it is
+    /// stashed here on the way to the response builder).
+    ready: Option<Result<ResolvedPlan, EngineError>>,
+    work: PendingWork,
+}
+
+/// Messages into the session's multiplexer thread.
+enum MuxMsg {
+    /// The reader dispatched a tagged request.
+    Register { token: u64, entry: Box<InFlight> },
+    /// An engine worker finished a shard of the tokened request (sent via
+    /// [`ShardNotify`]; may arrive before the matching `Register` — the
+    /// multiplexer polls at registration, so early pings are never lost).
+    Ping(u64),
+    /// The reader is done: answer (or `discard`) everything still in
+    /// flight, then write the optional `ack` (the shutdown response) last.
+    Drain { ack: Option<Json>, discard: bool },
+}
+
+/// How the reader half ended.
+enum Exit {
+    /// Client EOF / over-long line / server shutdown: drain, then close.
+    Drain,
+    /// In-band `shutdown` verb: drain, ack, then stop the whole server.
+    ShutdownVerb(Json),
+    /// The connection is dead (write failure or read error): discard.
+    Dead,
+}
+
+/// Per-connection state shared by the reader and multiplexer threads.
 struct Session<'a> {
     shared: &'a Shared,
-    plans: HashMap<String, ResolvedPlan>,
+    plans: Mutex<SessionPlans>,
+    gate: Gate,
     default_bins: Arc<BinSet>,
 }
 
+/// The reader's handles to the session's other two threads.
+struct SessionIo {
+    out: Sender<Json>,
+    mux: Sender<MuxMsg>,
+    /// Next multiplexer token; tokens order [`MuxMsg::Drain`]'s
+    /// remaining-work drain deterministically (dispatch order).
+    next_token: u64,
+}
+
+impl SessionIo {
+    fn respond(&self, response: Json) {
+        let _ = self.out.send(response);
+    }
+}
+
 impl Session<'_> {
-    /// Reads request lines and writes response lines until EOF, a fatal
-    /// I/O error, or shutdown. Reads poll on [`READ_POLL`] so the session
-    /// notices a server shutdown even while the client is silent.
-    fn serve(&mut self, stream: &TcpStream) -> io::Result<()> {
+    /// Runs the session: spawns the writer and multiplexer, reads request
+    /// lines until EOF / shutdown / a fatal error, then drains.
+    fn serve(&self, stream: &TcpStream) -> io::Result<()> {
         stream.set_read_timeout(Some(READ_POLL))?;
-        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
         let _ = stream.set_nodelay(true);
-        let mut writer = stream;
+        let writer_stream = stream.try_clone()?;
+        writer_stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        let dead = AtomicBool::new(false);
+        let (out_tx, out_rx) = channel::<Json>();
+        let (mux_tx, mux_rx) = channel::<MuxMsg>();
+
+        thread::scope(|scope| {
+            let dead_ref = &dead;
+            let writer = scope.spawn(move || writer_loop(writer_stream, out_rx, dead_ref));
+            let mux_out = out_tx.clone();
+            let mux = scope.spawn(move || {
+                Mux {
+                    session: self,
+                    out: mux_out,
+                    inflight: BTreeMap::new(),
+                }
+                .run(mux_rx)
+            });
+
+            let mut io = SessionIo {
+                out: out_tx,
+                mux: mux_tx,
+                next_token: 0,
+            };
+            let outcome = self.read_loop(stream, &mut io, &dead);
+            let (ack, discard) = match &outcome {
+                Ok(Exit::ShutdownVerb(ack)) => (Some(ack.clone()), false),
+                Ok(Exit::Drain) => (None, false),
+                Ok(Exit::Dead) | Err(_) => (None, true),
+            };
+            let _ = io.mux.send(MuxMsg::Drain { ack, discard });
+            drop(io.mux);
+            let _ = mux.join();
+            drop(io.out); // the writer drains queued responses, then exits
+            let _ = writer.join();
+            if let Ok(Exit::ShutdownVerb(_)) = &outcome {
+                // Only now — after this session's tagged work is answered
+                // and the ack is on the wire — stop the whole server.
+                trigger_shutdown(self.shared);
+            }
+            outcome.map(|_| ())
+        })
+    }
+
+    /// The reader half: frames lines, serves untagged requests in line,
+    /// dispatches tagged ones.
+    fn read_loop(
+        &self,
+        stream: &TcpStream,
+        io: &mut SessionIo,
+        dead: &AtomicBool,
+    ) -> io::Result<Exit> {
         let mut lines = LineBuffer::new(MAX_REQUEST_LINE);
         let mut chunk = [0u8; 8192];
         loop {
             while let Some(line) = lines.next_line() {
-                if !self.serve_line(&line, &mut writer)? {
-                    return Ok(());
+                if let Some(exit) = self.serve_line(&line, io, dead) {
+                    return Ok(exit);
                 }
             }
             if lines.over_limit() {
                 // A newline-free flood can only keep growing; refuse it
                 // with a structured error and close this connection.
-                self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                let response = protocol::error_response(
+                self.shared.counters.count_error();
+                io.respond(protocol::error_response(
+                    None,
                     None,
                     &format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
-                );
-                writeln!(writer, "{response}")?;
-                return Ok(());
+                ));
+                return Ok(Exit::Drain);
             }
             if self.shared.shutdown.load(Ordering::SeqCst) {
-                return Ok(());
+                return Ok(Exit::Drain);
+            }
+            if dead.load(Ordering::SeqCst) {
+                return Ok(Exit::Dead);
             }
             match (&mut (&*stream)).read(&mut chunk) {
                 Ok(0) => {
                     // EOF; a trailing line without a newline still counts.
                     if !lines.is_empty() {
                         let line = lines.take_rest();
-                        self.serve_line(&line, &mut writer)?;
+                        if let Some(exit) = self.serve_line(&line, io, dead) {
+                            return Ok(exit);
+                        }
                     }
-                    return Ok(());
+                    return Ok(Exit::Drain);
                 }
                 Ok(n) => lines.extend(&chunk[..n]),
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
@@ -277,75 +568,318 @@ impl Session<'_> {
         }
     }
 
-    /// Serves one raw request line; returns whether the session continues.
-    fn serve_line(&mut self, raw: &[u8], writer: &mut impl Write) -> io::Result<bool> {
+    /// Serves one raw request line; `Some(exit)` ends the reader.
+    fn serve_line(&self, raw: &[u8], io: &mut SessionIo, dead: &AtomicBool) -> Option<Exit> {
+        let counters = &self.shared.counters;
         let Ok(text) = std::str::from_utf8(raw) else {
-            let response = protocol::error_response(None, "request line is not valid UTF-8");
-            self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            writeln!(writer, "{response}")?;
-            return Ok(true);
+            counters.count_error();
+            io.respond(protocol::error_response(
+                None,
+                None,
+                "request line is not valid UTF-8",
+            ));
+            return None;
         };
         let line = text.trim();
         if line.is_empty() {
-            return Ok(true); // blank lines are JSONL padding, not requests
+            return None; // blank lines are JSONL padding, not requests
         }
-        let (response, keep_going) = self.dispatch(line);
-        writeln!(writer, "{response}")?;
-        writer.flush()?;
-        if !keep_going {
-            trigger_shutdown(self.shared);
-        }
-        Ok(keep_going)
-    }
-
-    /// Parses and executes one request; the bool is false exactly for a
-    /// successful `shutdown` request.
-    fn dispatch(&mut self, line: &str) -> (Json, bool) {
-        let counters = &self.shared.counters;
         match protocol::parse_request(line, &self.default_bins) {
             Err(message) => {
-                counters.errors.fetch_add(1, Ordering::Relaxed);
-                (protocol::error_response(None, &message), true)
+                counters.count_error();
+                // Echo the tag when one is recoverable, so a pipelining
+                // client can attribute the error to its request instead of
+                // losing the correlation (the response is still written at
+                // this position in the stream — a parse failure never
+                // enters the in-flight window).
+                let seq = protocol::recover_seq(line);
+                io.respond(protocol::error_response(None, seq.as_ref(), &message));
             }
             Ok(Request::Solve {
                 request,
                 id,
                 want_plan,
+                seq,
             }) => {
                 counters.solve.fetch_add(1, Ordering::Relaxed);
-                (self.run_solve(request, id, want_plan), true)
-            }
-            Ok(Request::Batch { requests }) => {
-                counters.batch.fetch_add(1, Ordering::Relaxed);
-                (self.run_batch(requests), true)
+                counters.count_algorithm(request.algorithm);
+                let request = self.shared.apply_middleware(request);
+                match seq {
+                    None => io.respond(self.run_solve(request, id, want_plan)),
+                    Some(seq) => self.pipeline_solve(io, dead, request, id, want_plan, seq),
+                }
             }
             Ok(Request::Resubmit {
                 id,
                 delta,
                 want_plan,
+                seq,
             }) => {
                 counters.resubmit.fetch_add(1, Ordering::Relaxed);
-                (self.run_resubmit(&id, &delta, want_plan), true)
+                match seq {
+                    None => io.respond(self.run_resubmit(&id, &delta, want_plan)),
+                    Some(seq) => self.pipeline_resubmit(io, dead, id, &delta, want_plan, seq),
+                }
+            }
+            Ok(Request::Batch { requests, seq }) => {
+                counters.batch.fetch_add(1, Ordering::Relaxed);
+                for request in &requests {
+                    counters.count_algorithm(request.algorithm);
+                }
+                let requests: Vec<EngineRequest> = requests
+                    .into_iter()
+                    .map(|r| self.shared.apply_middleware(r))
+                    .collect();
+                match seq {
+                    None => io.respond(self.run_batch(requests)),
+                    Some(seq) => self.pipeline_batch(io, dead, requests, seq),
+                }
             }
             Ok(Request::Stats) => {
                 counters.stats.fetch_add(1, Ordering::Relaxed);
-                (self.stats_response(), true)
+                io.respond(self.stats_response());
             }
             Ok(Request::Shutdown) => {
                 counters.shutdown.fetch_add(1, Ordering::Relaxed);
-                (
-                    Json::Object(vec![
-                        member("ok", Json::Bool(true)),
-                        member("op", Json::string("shutdown")),
-                    ]),
-                    false,
-                )
+                let ack = Json::Object(vec![
+                    member("ok", Json::Bool(true)),
+                    member("op", Json::string("shutdown")),
+                ]);
+                return Some(Exit::ShutdownVerb(ack));
             }
+        }
+        None
+    }
+
+    // ---- tagged (pipelined) dispatch ------------------------------------
+
+    /// Admits a tagged request through the in-flight gate, answering the
+    /// duplicate case with a structured error. `None` means "drop the
+    /// request" (dead/aborting session).
+    fn admit(&self, io: &SessionIo, dead: &AtomicBool, seq: &Json, seq_key: &str) -> Option<()> {
+        let abort = || dead.load(Ordering::SeqCst) || self.shared.shutdown.load(Ordering::SeqCst);
+        match self.gate.acquire(seq_key, self.shared.max_inflight, abort) {
+            Admission::Admitted => {
+                self.shared
+                    .counters
+                    .pipelined
+                    .fetch_add(1, Ordering::Relaxed);
+                Some(())
+            }
+            Admission::Duplicate => {
+                self.shared.counters.count_error();
+                io.respond(protocol::error_response(
+                    None,
+                    Some(seq),
+                    &format!("seq {seq_key} is already in flight on this session"),
+                ));
+                None
+            }
+            Admission::Aborted => None,
         }
     }
 
-    fn run_solve(&mut self, request: EngineRequest, id: Option<String>, want_plan: bool) -> Json {
-        self.shared.counters.count_algorithm(request.algorithm);
+    /// A [`ShardNotify`] that pings the multiplexer about `token`.
+    fn notify_for(io: &SessionIo, token: u64) -> ShardNotify {
+        let mux = io.mux.clone();
+        Arc::new(move || {
+            let _ = mux.send(MuxMsg::Ping(token));
+        })
+    }
+
+    /// Hands a dispatched tagged request to the multiplexer.
+    fn register(&self, io: &mut SessionIo, seq: Json, seq_key: String, work: PendingWork) {
+        let token = io.next_token;
+        io.next_token += 1;
+        let entry = InFlight {
+            seq,
+            seq_key,
+            deadline: Instant::now().checked_add(self.shared.request_timeout),
+            ready: None,
+            work,
+        };
+        let _ = io.mux.send(MuxMsg::Register {
+            token,
+            entry: Box::new(entry),
+        });
+    }
+
+    fn pipeline_solve(
+        &self,
+        io: &mut SessionIo,
+        dead: &AtomicBool,
+        request: EngineRequest,
+        id: Option<String>,
+        want_plan: bool,
+        seq: Json,
+    ) {
+        let seq_key = seq.to_string();
+        if self.admit(io, dead, &seq, &seq_key).is_none() {
+            return;
+        }
+        if let Some(id) = &id {
+            let mut guard = lock(&self.plans);
+            if let Some(producer) = guard.pending.get(id).cloned() {
+                drop(guard);
+                self.gate.release(&seq_key);
+                self.shared.counters.count_error();
+                io.respond(protocol::error_response(
+                    Some("solve"),
+                    Some(&seq),
+                    &format!("plan id `{id}` is still being produced by in-flight seq {producer}"),
+                ));
+                return;
+            }
+            guard.pending.insert(id.clone(), seq_key.clone());
+        }
+        // Register *after* computing the token but the handle *before*
+        // registering is impossible (the handle is the registration): early
+        // worker pings for this token are covered by the poll the
+        // multiplexer performs at registration.
+        let token = io.next_token;
+        let notify = Self::notify_for(io, token);
+        let handle = self.shared.engine.submit_resolved_notify(request, notify);
+        self.register(
+            io,
+            seq,
+            seq_key,
+            PendingWork::Single {
+                op: "solve",
+                id,
+                want_plan,
+                handle,
+            },
+        );
+    }
+
+    fn pipeline_resubmit(
+        &self,
+        io: &mut SessionIo,
+        dead: &AtomicBool,
+        id: String,
+        delta: &slade_engine::WorkloadDelta,
+        want_plan: bool,
+        seq: Json,
+    ) {
+        let seq_key = seq.to_string();
+        if self.admit(io, dead, &seq, &seq_key).is_none() {
+            return;
+        }
+        let prior = {
+            let mut guard = lock(&self.plans);
+            if let Some(producer) = guard.pending.get(&id) {
+                let producer = producer.clone();
+                drop(guard);
+                self.gate.release(&seq_key);
+                self.shared.counters.count_error();
+                io.respond(protocol::error_response(
+                    Some("resubmit"),
+                    Some(&seq),
+                    &format!(
+                        "plan id `{id}` is still being produced by in-flight seq {producer}; \
+                         wait for that response before resubmitting"
+                    ),
+                ));
+                return;
+            }
+            match guard.plans.get(&id) {
+                None => {
+                    let retained = guard.plans.len();
+                    drop(guard);
+                    self.gate.release(&seq_key);
+                    self.shared.counters.count_error();
+                    io.respond(protocol::error_response(
+                        Some("resubmit"),
+                        Some(&seq),
+                        &format!("unknown plan id `{id}`; this session retains {retained} plan(s)"),
+                    ));
+                    return;
+                }
+                Some(prior) => {
+                    let prior = Arc::clone(prior);
+                    // This request is now the id's producer: concurrent
+                    // resubmits of one id would race each other's retained
+                    // state, so they queue behind the response instead.
+                    guard.pending.insert(id.clone(), seq_key.clone());
+                    prior
+                }
+            }
+        };
+        self.shared.counters.count_algorithm(prior.algorithm());
+        let token = io.next_token;
+        let notify = Self::notify_for(io, token);
+        match self
+            .shared
+            .engine
+            .resubmit_submit_notify(&prior, delta, notify)
+        {
+            Err(e) => {
+                lock(&self.plans).pending.remove(&id);
+                self.gate.release(&seq_key);
+                self.shared.counters.count_error();
+                io.respond(protocol::error_response(
+                    Some("resubmit"),
+                    Some(&seq),
+                    &e.to_string(),
+                ));
+            }
+            Ok(handle) => self.register(
+                io,
+                seq,
+                seq_key,
+                PendingWork::Single {
+                    op: "resubmit",
+                    id: Some(id),
+                    want_plan,
+                    handle,
+                },
+            ),
+        }
+    }
+
+    fn pipeline_batch(
+        &self,
+        io: &mut SessionIo,
+        dead: &AtomicBool,
+        requests: Vec<EngineRequest>,
+        seq: Json,
+    ) {
+        let seq_key = seq.to_string();
+        if self.admit(io, dead, &seq, &seq_key).is_none() {
+            return;
+        }
+        let token = io.next_token;
+        let notify = Self::notify_for(io, token);
+        let handles: Vec<PlanHandle> = requests
+            .iter()
+            .map(|r| self.shared.engine.submit_notify(r.clone(), notify.clone()))
+            .collect();
+        let results = (0..requests.len()).map(|_| None).collect();
+        self.register(
+            io,
+            seq,
+            seq_key,
+            PendingWork::Batch {
+                requests,
+                handles,
+                results,
+            },
+        );
+    }
+
+    // ---- untagged (strict request/response) execution -------------------
+
+    fn run_solve(&self, request: EngineRequest, id: Option<String>, want_plan: bool) -> Json {
+        if let Some(id) = &id {
+            if let Some(producer) = lock(&self.plans).pending.get(id) {
+                self.shared.counters.count_error();
+                return protocol::error_response(
+                    Some("solve"),
+                    None,
+                    &format!("plan id `{id}` is still being produced by in-flight seq {producer}"),
+                );
+            }
+        }
         let resolved = self
             .shared
             .engine
@@ -353,44 +887,57 @@ impl Session<'_> {
         match resolved {
             Err(e) => self.engine_error("solve", &e),
             Ok(resolved) => {
-                let response = self.resolved_response("solve", id.as_deref(), &resolved, want_plan);
+                let response =
+                    resolved_response("solve", id.as_deref(), None, &resolved, want_plan);
                 if let Some(id) = id {
-                    if self.plans.insert(id, resolved).is_none() {
-                        self.shared.plans_retained.fetch_add(1, Ordering::SeqCst);
-                    }
+                    retain_plan(self.shared, &self.plans, id, Arc::new(resolved));
                 }
                 response
             }
         }
     }
 
-    fn run_resubmit(
-        &mut self,
-        id: &str,
-        delta: &slade_engine::WorkloadDelta,
-        want_plan: bool,
-    ) -> Json {
-        let Some(prior) = self.plans.get(id) else {
-            self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-            return protocol::error_response(
-                Some("resubmit"),
-                &format!(
-                    "unknown plan id `{id}`; this session retains {} plan(s)",
-                    self.plans.len()
-                ),
-            );
+    fn run_resubmit(&self, id: &str, delta: &slade_engine::WorkloadDelta, want_plan: bool) -> Json {
+        let prior = {
+            let guard = lock(&self.plans);
+            if let Some(producer) = guard.pending.get(id) {
+                let producer = producer.clone();
+                drop(guard);
+                self.shared.counters.count_error();
+                return protocol::error_response(
+                    Some("resubmit"),
+                    None,
+                    &format!(
+                        "plan id `{id}` is still being produced by in-flight seq {producer}; \
+                         wait for that response before resubmitting"
+                    ),
+                );
+            }
+            match guard.plans.get(id) {
+                None => {
+                    let retained = guard.plans.len();
+                    drop(guard);
+                    self.shared.counters.count_error();
+                    return protocol::error_response(
+                        Some("resubmit"),
+                        None,
+                        &format!("unknown plan id `{id}`; this session retains {retained} plan(s)"),
+                    );
+                }
+                Some(prior) => Arc::clone(prior),
+            }
         };
         self.shared.counters.count_algorithm(prior.algorithm());
         match self
             .shared
             .engine
-            .resubmit_timeout(prior, delta, self.shared.request_timeout)
+            .resubmit_timeout(&prior, delta, self.shared.request_timeout)
         {
             Err(e) => self.engine_error("resubmit", &e),
             Ok(resolved) => {
-                let response = self.resolved_response("resubmit", Some(id), &resolved, want_plan);
+                let response = resolved_response("resubmit", Some(id), None, &resolved, want_plan);
                 // Chained resubmits build on the latest state of the id.
-                self.plans.insert(id.to_string(), resolved);
+                retain_plan(self.shared, &self.plans, id.to_string(), Arc::new(resolved));
                 response
             }
         }
@@ -400,84 +947,24 @@ impl Session<'_> {
     /// stream: submit everything up front, collect in request order, and
     /// turn per-request failures into per-request error entries. The
     /// request timeout spans the whole batch.
-    fn run_batch(&mut self, requests: Vec<EngineRequest>) -> Json {
+    fn run_batch(&self, requests: Vec<EngineRequest>) -> Json {
         // Checked like every other wait path: a timeout too large for the
-        // `Instant` domain means "no deadline", not a panic.
+        // `Instant` domain means "no deadline", not an `Instant` overflow.
         let deadline = Instant::now().checked_add(self.shared.request_timeout);
-        for request in &requests {
-            self.shared.counters.count_algorithm(request.algorithm);
-        }
         let handles = self.shared.engine.submit_batch(requests.iter().cloned());
-        let mut results = Vec::with_capacity(requests.len());
-        for (i, (handle, request)) in handles.into_iter().zip(&requests).enumerate() {
-            let mut members = vec![member("request", Json::number(i as f64))];
-            let waited = match deadline {
+        let results: Vec<Result<DecompositionPlan, EngineError>> = handles
+            .into_iter()
+            .map(|handle| match deadline {
                 Some(at) => handle.wait_timeout(at.saturating_duration_since(Instant::now())),
                 None => handle.wait(),
-            };
-            match waited {
-                Ok(plan) => {
-                    let audit = plan
-                        .validate(&request.workload, &request.bins)
-                        .expect("engine plans are structurally valid");
-                    members.extend(protocol::plan_summary_members(
-                        request.algorithm,
-                        &request.workload,
-                        &audit,
-                    ));
-                }
-                Err(e) => {
-                    self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    members.push(member("error", Json::string(e.to_string())));
-                }
-            }
-            results.push(Json::Object(members));
-        }
-        Json::Object(vec![
-            member("ok", Json::Bool(true)),
-            member("op", Json::string("batch")),
-            member("results", Json::Array(results)),
-        ])
-    }
-
-    /// Assembles a solve/resubmit success response from a resolved plan.
-    fn resolved_response(
-        &self,
-        op: &str,
-        id: Option<&str>,
-        resolved: &ResolvedPlan,
-        want_plan: bool,
-    ) -> Json {
-        let audit = resolved
-            .plan()
-            .validate(resolved.workload(), resolved.bins())
-            .expect("engine plans are structurally valid");
-        let mut members = vec![
-            member("ok", Json::Bool(true)),
-            member("op", Json::string(op)),
-        ];
-        if let Some(id) = id {
-            members.push(member("id", Json::string(id)));
-        }
-        members.extend(protocol::plan_summary_members(
-            resolved.algorithm(),
-            resolved.workload(),
-            &audit,
-        ));
-        members.push(member("shards", Json::number(resolved.shards() as f64)));
-        members.push(member(
-            "reused_shards",
-            Json::number(resolved.reused_shards() as f64),
-        ));
-        if want_plan {
-            members.push(member("plan", protocol::plan_to_json(resolved.plan())));
-        }
-        Json::Object(members)
+            })
+            .collect();
+        batch_response(self.shared, &requests, results, None)
     }
 
     fn engine_error(&self, op: &str, error: &EngineError) -> Json {
-        self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-        protocol::error_response(Some(op), &error.to_string())
+        self.shared.counters.count_error();
+        protocol::error_response(Some(op), None, &error.to_string())
     }
 
     fn stats_response(&self) -> Json {
@@ -504,6 +991,7 @@ impl Session<'_> {
                     member("resubmit", count(&shared.counters.resubmit)),
                     member("stats", count(&shared.counters.stats)),
                     member("shutdown", count(&shared.counters.shutdown)),
+                    member("pipelined", count(&shared.counters.pipelined)),
                     member("errors", count(&shared.counters.errors)),
                 ]),
             ),
@@ -526,6 +1014,334 @@ impl Session<'_> {
                 Json::number(shared.plans_retained.load(Ordering::SeqCst) as f64),
             ),
             member("threads", Json::number(shared.engine.threads() as f64)),
+            member("max_inflight", Json::number(shared.max_inflight as f64)),
         ])
+    }
+}
+
+/// Retains `resolved` under `id`, clearing any pending-producer marker.
+fn retain_plan(
+    shared: &Shared,
+    plans: &Mutex<SessionPlans>,
+    id: String,
+    resolved: Arc<ResolvedPlan>,
+) {
+    let mut guard = lock(plans);
+    guard.pending.remove(&id);
+    if guard.plans.insert(id, resolved).is_none() {
+        shared.plans_retained.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Assembles a solve/resubmit success response from a resolved plan; the
+/// one builder both the in-line path and the multiplexer use, so tagged and
+/// untagged responses cannot drift (a tagged response is the untagged bytes
+/// plus the echoed `seq`).
+fn resolved_response(
+    op: &str,
+    id: Option<&str>,
+    seq: Option<&Json>,
+    resolved: &ResolvedPlan,
+    want_plan: bool,
+) -> Json {
+    let audit = resolved
+        .plan()
+        .validate(resolved.workload(), resolved.bins())
+        .expect("engine plans are structurally valid");
+    let mut members = vec![
+        member("ok", Json::Bool(true)),
+        member("op", Json::string(op)),
+    ];
+    if let Some(seq) = seq {
+        members.push(member("seq", seq.clone()));
+    }
+    if let Some(id) = id {
+        members.push(member("id", Json::string(id)));
+    }
+    members.extend(protocol::plan_summary_members(
+        resolved.algorithm(),
+        resolved.workload(),
+        &audit,
+    ));
+    members.push(member("shards", Json::number(resolved.shards() as f64)));
+    members.push(member(
+        "reused_shards",
+        Json::number(resolved.reused_shards() as f64),
+    ));
+    if want_plan {
+        members.push(member("plan", protocol::plan_to_json(resolved.plan())));
+    }
+    Json::Object(members)
+}
+
+/// Assembles a batch response from per-request results (counting failures),
+/// shared by the in-line path and the multiplexer.
+fn batch_response(
+    shared: &Shared,
+    requests: &[EngineRequest],
+    results: Vec<Result<DecompositionPlan, EngineError>>,
+    seq: Option<&Json>,
+) -> Json {
+    let mut entries = Vec::with_capacity(requests.len());
+    for (i, (result, request)) in results.into_iter().zip(requests).enumerate() {
+        let mut members = vec![member("request", Json::number(i as f64))];
+        match result {
+            Ok(plan) => {
+                let audit = plan
+                    .validate(&request.workload, &request.bins)
+                    .expect("engine plans are structurally valid");
+                members.extend(protocol::plan_summary_members(
+                    request.algorithm,
+                    &request.workload,
+                    &audit,
+                ));
+            }
+            Err(e) => {
+                shared.counters.count_error();
+                members.push(member("error", Json::string(e.to_string())));
+            }
+        }
+        entries.push(Json::Object(members));
+    }
+    let mut members = vec![
+        member("ok", Json::Bool(true)),
+        member("op", Json::string("batch")),
+    ];
+    if let Some(seq) = seq {
+        members.push(member("seq", seq.clone()));
+    }
+    members.push(member("results", Json::Array(entries)));
+    Json::Object(members)
+}
+
+/// The drain's blocking wait: polls a non-consuming `try_wait` until it
+/// delivers or `deadline` passes (then the engine's standard timeout
+/// error). `try_wait` hands out each result exactly once, so the polling
+/// stays with the caller and the deadline math with the entry.
+fn wait_out<T>(
+    mut poll: impl FnMut() -> Option<Result<T, EngineError>>,
+    deadline: Option<Instant>,
+    timeout: Duration,
+) -> Result<T, EngineError> {
+    loop {
+        if let Some(result) = poll() {
+            return result;
+        }
+        if deadline.is_some_and(|d| d.saturating_duration_since(Instant::now()).is_zero()) {
+            return Err(EngineError::Timeout { after: timeout });
+        }
+        thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// The writer half: serializes every queued response onto the socket. On a
+/// write failure (stalled or gone client) it flags the connection dead and
+/// keeps draining the channel, so producers never block on a dead peer.
+fn writer_loop(mut stream: TcpStream, responses: Receiver<Json>, dead: &AtomicBool) {
+    for response in responses {
+        if dead.load(Ordering::SeqCst) {
+            continue;
+        }
+        if writeln!(stream, "{response}")
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            dead.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The multiplexer half: owns every in-flight tagged request of one
+/// session. See the module docs for the protocol it implements.
+struct Mux<'a, 'b> {
+    session: &'a Session<'b>,
+    out: Sender<Json>,
+    /// In-flight entries by dispatch token (a `BTreeMap` so the final
+    /// drain answers remaining work in dispatch order, deterministically).
+    inflight: BTreeMap<u64, InFlight>,
+}
+
+impl Mux<'_, '_> {
+    fn run(mut self, inbox: Receiver<MuxMsg>) {
+        loop {
+            match inbox.recv_timeout(self.poll_interval()) {
+                Ok(MuxMsg::Register { token, entry }) => {
+                    self.inflight.insert(token, *entry);
+                    // Cover shard pings that raced ahead of registration
+                    // (and zero-outstanding work, e.g. an all-reused
+                    // resubmit that will never ping).
+                    self.try_complete(token);
+                }
+                Ok(MuxMsg::Ping(token)) => self.try_complete(token),
+                Ok(MuxMsg::Drain { ack, discard }) => {
+                    self.drain(discard);
+                    if let Some(ack) = ack {
+                        let _ = self.out.send(ack);
+                    }
+                    return;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                // The reader vanished without a Drain (a panic); there is
+                // nobody left to answer, so just stop.
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+            self.expire_overdue();
+        }
+    }
+
+    /// Sleep no longer than the nearest in-flight deadline (clamped to the
+    /// standard poll), so expiry is noticed promptly even on a silent
+    /// connection.
+    fn poll_interval(&self) -> Duration {
+        let now = Instant::now();
+        self.inflight
+            .values()
+            .filter_map(|e| e.deadline)
+            .map(|d| d.saturating_duration_since(now))
+            .min()
+            .map_or(READ_POLL, |d| d.clamp(Duration::from_millis(1), READ_POLL))
+    }
+
+    /// Polls the tokened entry; answers and retires it if it finished.
+    fn try_complete(&mut self, token: u64) {
+        let Some(entry) = self.inflight.get_mut(&token) else {
+            return; // early ping, or the entry already expired
+        };
+        let ready = match &mut entry.work {
+            PendingWork::Single { handle, .. } => handle.try_wait().map(Some),
+            PendingWork::Batch {
+                handles, results, ..
+            } => {
+                let mut all_done = true;
+                for (handle, slot) in handles.iter_mut().zip(results.iter_mut()) {
+                    if slot.is_none() {
+                        match handle.try_wait() {
+                            Some(result) => *slot = Some(result),
+                            None => all_done = false,
+                        }
+                    }
+                }
+                all_done.then_some(None)
+            }
+        };
+        if let Some(single_result) = ready {
+            let mut entry = self.inflight.remove(&token).expect("present above");
+            entry.ready = single_result;
+            self.finish(entry, None);
+        }
+    }
+
+    /// Turns every overdue entry into a structured timeout response; the
+    /// abandoned shards finish in the pool (the engine's standard timeout
+    /// posture).
+    fn expire_overdue(&mut self) {
+        let now = Instant::now();
+        let due: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, e)| e.deadline.is_some_and(|d| now >= d))
+            .map(|(&t, _)| t)
+            .collect();
+        for token in due {
+            let entry = self.inflight.remove(&token).expect("collected above");
+            let timeout = EngineError::Timeout {
+                after: self.session.shared.request_timeout,
+            };
+            self.finish(entry, Some(timeout));
+        }
+    }
+
+    /// Answers (or discards) everything still in flight at session end.
+    /// Non-discard drains wait each entry out, bounded by its own deadline.
+    fn drain(&mut self, discard: bool) {
+        while let Some((_token, mut entry)) = self.inflight.pop_first() {
+            if discard {
+                // Dead connection: nobody can read responses. Release the
+                // bookkeeping; dropping the handles abandons the shards.
+                if let PendingWork::Single { id: Some(id), .. } = &entry.work {
+                    lock(&self.session.plans).pending.remove(id);
+                }
+                self.session.gate.release(&entry.seq_key);
+                continue;
+            }
+            let deadline = entry.deadline;
+            let timeout = self.session.shared.request_timeout;
+            match &mut entry.work {
+                PendingWork::Single { handle, .. } => {
+                    entry.ready = Some(wait_out(|| handle.try_wait(), deadline, timeout));
+                    self.finish(entry, None);
+                }
+                PendingWork::Batch {
+                    handles, results, ..
+                } => {
+                    for (handle, slot) in handles.iter_mut().zip(results.iter_mut()) {
+                        if slot.is_none() {
+                            *slot = Some(wait_out(|| handle.try_wait(), deadline, timeout));
+                        }
+                    }
+                    self.finish(entry, None);
+                }
+            }
+        }
+    }
+
+    /// Answers one retired entry. `fill` (an expiry timeout) substitutes
+    /// for whatever has not reported.
+    fn finish(&self, entry: InFlight, fill: Option<EngineError>) {
+        let shared = self.session.shared;
+        let InFlight {
+            seq,
+            seq_key,
+            ready,
+            work,
+            ..
+        } = entry;
+        let response = match work {
+            PendingWork::Single {
+                op, id, want_plan, ..
+            } => {
+                let result = match (ready, &fill) {
+                    (Some(result), _) => result,
+                    (None, Some(timeout)) => Err(timeout.clone()),
+                    (None, None) => unreachable!("a Single entry finishes with a result or fill"),
+                };
+                match result {
+                    Ok(resolved) => {
+                        let response =
+                            resolved_response(op, id.as_deref(), Some(&seq), &resolved, want_plan);
+                        if let Some(id) = id {
+                            retain_plan(shared, &self.session.plans, id, Arc::new(resolved));
+                        }
+                        response
+                    }
+                    Err(e) => {
+                        if let Some(id) = &id {
+                            // A failed producer releases the id; the
+                            // previously retained plan (if any) stays the
+                            // id's current state.
+                            lock(&self.session.plans).pending.remove(id);
+                        }
+                        shared.counters.count_error();
+                        protocol::error_response(Some(op), Some(&seq), &e.to_string())
+                    }
+                }
+            }
+            PendingWork::Batch {
+                requests, results, ..
+            } => {
+                let results: Vec<Result<DecompositionPlan, EngineError>> = results
+                    .into_iter()
+                    .map(|slot| match slot {
+                        Some(result) => result,
+                        None => Err(fill
+                            .clone()
+                            .expect("only expiry finishes a batch with missing results")),
+                    })
+                    .collect();
+                batch_response(shared, &requests, results, Some(&seq))
+            }
+        };
+        self.session.gate.release(&seq_key);
+        let _ = self.out.send(response);
     }
 }

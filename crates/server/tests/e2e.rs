@@ -43,6 +43,7 @@ fn start_server() -> (
         addr: "127.0.0.1:0".to_string(),
         engine: engine_config(),
         request_timeout: STEP,
+        ..ServerConfig::default()
     })
     .expect("binding an ephemeral loopback port");
     let addr = server.local_addr();
