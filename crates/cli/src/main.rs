@@ -6,7 +6,7 @@
 //! slade-cli simulate [same flags] [--trials K] [--seed S]
 //! slade-cli batch    [--threads N] [--cache N]   (JSONL requests on stdin)
 //! slade-cli serve    [--addr HOST:PORT] [--threads N] [--cache N]
-//!                    [--max-inflight N]
+//!                    [--max-inflight N] [--scheduler MODE]
 //! slade-cli client   --connect HOST:PORT [--pipeline N]
 //!                                                 (JSONL requests on stdin)
 //! slade-cli algorithms
@@ -72,6 +72,9 @@ OPTIONS (serve):
     --max-inflight N        Cap on seq-tagged (pipelined) requests one
                             session may have in flight; the reader blocks
                             at the cap (TCP backpressure) [default: 32]
+    --scheduler MODE        Engine worker scheduler: work-steal (per-worker
+                            deques with stealing) or shared-queue (one
+                            FIFO, for A/B comparison) [default: work-steal]
 
 OPTIONS (client):
     --connect HOST:PORT     Server to talk to (required). Requests are read
@@ -291,6 +294,7 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
     let mut cache = defaults.cache_capacity;
     let mut timeout_secs: u64 = 60;
     let mut max_inflight = ServerConfig::default().max_inflight;
+    let mut scheduler = defaults.scheduler;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -319,6 +323,11 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
                     return Err(CliError::Usage("--max-inflight must be at least 1".into()));
                 }
             }
+            "--scheduler" => {
+                scheduler = value("--scheduler")?
+                    .parse()
+                    .map_err(|e: String| CliError::Usage(format!("--scheduler: {e}")))?;
+            }
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown flag `{other}` for `serve`"
@@ -331,6 +340,7 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
         engine: EngineConfig {
             threads,
             cache_capacity: cache,
+            scheduler,
             ..EngineConfig::default()
         },
         request_timeout: Duration::from_secs(timeout_secs),
@@ -909,6 +919,8 @@ mod tests {
             "serve --threads 0",
             "serve --timeout-secs 0",
             "serve --max-inflight 0",
+            "serve --scheduler bogus",
+            "serve --scheduler",
             "serve --addr",
             "client",
             "client --port 80",

@@ -6,9 +6,18 @@
 //! marketplace, with heavy repetition in `(bin menu, threshold)` pairs and
 //! workloads that evolve in place. This crate closes that gap, std-only:
 //!
-//! * **a fixed worker pool** ([`Engine`]) — `std::thread` workers pulling
-//!   jobs from one bounded `mpsc` channel, so [`Engine::submit`] exerts
-//!   backpressure instead of queueing unboundedly;
+//! * **a work-stealing worker pool** ([`Engine`]) — `std::thread` workers,
+//!   each draining its own deque LIFO and stealing the oldest job from a
+//!   loaded sibling when idle ([`SchedulerMode::WorkSteal`]; the original
+//!   single shared FIFO survives as [`SchedulerMode::SharedQueue`] for A/B
+//!   benchmarking). Admission is counted against a bound, so
+//!   [`Engine::submit`] exerts backpressure instead of queueing
+//!   unboundedly, and an idle pool parks — it costs nothing;
+//! * **a cross-session plan store** ([`PlanStore`]) — named
+//!   [`ResolvedPlan`]s with per-session leases and pending-producer
+//!   markers, so a frontend can let one connection resubmit a plan another
+//!   connection produced, with conflicts surfaced as typed
+//!   [`StoreError`]s instead of races;
 //! * **sharded solves** — heterogeneous requests split into their
 //!   [`slade_core::hetero::partition`] threshold buckets and (optionally)
 //!   large homogeneous requests into fixed-size chunks, each an independent
@@ -41,10 +50,13 @@
 //! [`EngineRequest::seed`]), sharding is decided at submit time from the
 //! request alone, and [`PlanHandle::wait`] merges shard results in shard
 //! order. Hence the same request produces byte-identical plans at
-//! `threads = 1` and `threads = N`, a warm-cache solve equals the cold
-//! solve for the same fingerprint (for every algorithm), and a delta
-//! resubmission equals the cold solve of the resulting workload — all
-//! pinned by this crate's tests.
+//! `threads = 1` and `threads = N` — *including under steal-heavy
+//! schedules, where jobs run on arbitrary workers in arbitrary order* — a
+//! warm-cache solve equals the cold solve for the same fingerprint (for
+//! every algorithm), and a delta resubmission equals the cold solve of the
+//! resulting workload — all pinned by this crate's tests
+//! (`tests/steal_determinism.rs` forces stealing with stalled shards
+//! across 100 seeded schedules).
 //!
 //! A panicking solver cannot wedge a handle: workers catch unwinds at the
 //! job boundary and surface them as [`EngineError::WorkerPanicked`].
@@ -83,13 +95,17 @@
 //! ```
 
 mod cache;
+mod sched;
 mod service;
+mod store;
 
 pub use cache::{ArtifactCache, CacheKey, CacheStats};
+pub use sched::SchedulerMode;
 pub use service::{
     Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, ResolvedHandle, ResolvedPlan,
     ShardNotify, WorkloadDelta,
 };
+pub use store::{PlanStore, SessionId, StoreError};
 // The fingerprint type cache keys are built from now lives in `slade_core`,
 // next to the signatures and solver knobs it hashes; re-exported here for
 // engine-facing callers.

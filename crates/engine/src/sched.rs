@@ -1,0 +1,280 @@
+//! The engine's job scheduler: per-worker deques with work stealing.
+//!
+//! The engine's first five iterations fed the worker pool from one bounded
+//! `mpsc` channel behind a mutex — correct, but every dequeue contended on
+//! one lock and an idle worker could never help a loaded one. This module
+//! replaces it, std-only:
+//!
+//! * **per-worker deques** — submissions are placed round-robin across one
+//!   `VecDeque` per worker; a worker drains its own deque LIFO (freshest
+//!   job first, the classic locality heuristic) and, when its own deque is
+//!   empty, **steals** the oldest job from a victim's deque (FIFO — the
+//!   victim keeps its freshest work);
+//! * **counting admission** — a shared atomic counter tracks jobs submitted
+//!   but not yet claimed. Submitters reserve a slot (blocking at
+//!   `capacity`, which is the engine's backpressure) *before* pushing;
+//!   workers claim a slot *before* scanning the deques. A claim therefore
+//!   guarantees a job is pushed or about to be pushed, so the scan may spin
+//!   only across a submitter's reserve→push window, never indefinitely;
+//! * **parking** — an idle pool costs nothing: workers park on a condvar
+//!   once the claim counter reads zero, and submitters wake exactly one
+//!   parked worker per job. The parked/waiting counters are incremented
+//!   under the same lock the notifier takes, which (with the SeqCst
+//!   counter operations) rules out missed wakeups;
+//! * **deterministic drain** — [`Scheduler::shutdown`] sets the flag and
+//!   wakes everyone; a worker only exits once the claim counter is zero,
+//!   so every job submitted before shutdown runs before the pool dies.
+//!
+//! Stealing is *legal* because the engine's results never depend on which
+//! worker runs which shard: sharding is decided at submit time from the
+//! request alone, every job is a pure function of its request, and shard
+//! results merge in shard order. The scheduler only changes *when and
+//! where* jobs run — the tests in `tests/steal_determinism.rs` pin that
+//! plans stay byte-identical under steal-heavy schedules.
+//!
+//! [`SchedulerMode::SharedQueue`] degenerates the same machinery to a
+//! single shared FIFO — the old mpsc pool's discipline — kept so benches
+//! can compare old against new on identical workloads.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::thread;
+
+/// One queued unit of work (a shard solve, boxed with its result channel).
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Which queueing discipline the engine's worker pool runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Per-worker deques with LIFO self-pop and FIFO stealing (the
+    /// default). Plans are byte-identical to [`SchedulerMode::SharedQueue`]
+    /// for every request — only scheduling changes.
+    #[default]
+    WorkSteal,
+    /// One shared FIFO all workers pull from — the discipline of the
+    /// engine's original bounded-mpsc pool, kept for A/B benchmarking.
+    SharedQueue,
+}
+
+impl SchedulerMode {
+    /// The CLI/stats spelling (`work-steal` / `shared-queue`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerMode::WorkSteal => "work-steal",
+            SchedulerMode::SharedQueue => "shared-queue",
+        }
+    }
+}
+
+impl std::str::FromStr for SchedulerMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "work-steal" => Ok(SchedulerMode::WorkSteal),
+            "shared-queue" => Ok(SchedulerMode::SharedQueue),
+            other => Err(format!(
+                "unknown scheduler `{other}`; expected work-steal or shared-queue"
+            )),
+        }
+    }
+}
+
+/// The work-stealing scheduler shared by every worker of one [`Engine`].
+///
+/// [`Engine`]: crate::Engine
+pub(crate) struct Scheduler {
+    /// One deque per worker ([`SchedulerMode::WorkSteal`]) or a single
+    /// shared FIFO ([`SchedulerMode::SharedQueue`]).
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Jobs submitted (slot reserved) but not yet claimed by a worker.
+    queued: AtomicUsize,
+    shut_down: AtomicBool,
+    /// Guards the park/wake protocol of both condvars below. Counters are
+    /// bumped while holding it and notifiers take it before notifying, so a
+    /// checked-then-waited thread cannot miss its wakeup.
+    sleep: Mutex<()>,
+    /// Workers park here when nothing is claimable.
+    work: Condvar,
+    /// Submitters park here while the queue is at capacity.
+    room: Condvar,
+    /// Workers currently parked on `work` (notify only when > 0).
+    parked: AtomicUsize,
+    /// Submitters currently parked on `room` (notify only when > 0).
+    waiting_room: AtomicUsize,
+    /// Reserve bound for `queued`; submission blocks at the bound.
+    capacity: usize,
+    /// Round-robin placement cursor for submissions.
+    next: AtomicUsize,
+    /// Jobs taken from a deque other than the claiming worker's own.
+    steals: AtomicU64,
+}
+
+/// Locks a mutex, shrugging off poisoning: scheduler state is a deque of
+/// boxed closures plus counters, all valid at every instruction boundary.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Scheduler {
+    pub(crate) fn new(mode: SchedulerMode, workers: usize, capacity: usize) -> Scheduler {
+        let deques = match mode {
+            SchedulerMode::WorkSteal => workers.max(1),
+            SchedulerMode::SharedQueue => 1,
+        };
+        Scheduler {
+            deques: (0..deques).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            shut_down: AtomicBool::new(false),
+            sleep: Mutex::new(()),
+            work: Condvar::new(),
+            room: Condvar::new(),
+            parked: AtomicUsize::new(0),
+            waiting_room: AtomicUsize::new(0),
+            capacity: capacity.max(1),
+            next: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Queues `job`, returning whether it was accepted (`false` once the
+    /// scheduler is shut down). Blocks while `capacity` jobs are already
+    /// queued — the engine's backpressure.
+    pub(crate) fn submit(&self, job: Job) -> bool {
+        // Reserve a slot in `queued` before touching any deque.
+        loop {
+            if self.shut_down.load(Ordering::SeqCst) {
+                return false;
+            }
+            let queued = self.queued.load(Ordering::SeqCst);
+            if queued >= self.capacity {
+                let mut guard = lock(&self.sleep);
+                self.waiting_room.fetch_add(1, Ordering::SeqCst);
+                while self.queued.load(Ordering::SeqCst) >= self.capacity
+                    && !self.shut_down.load(Ordering::SeqCst)
+                {
+                    guard = self
+                        .room
+                        .wait(guard)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                self.waiting_room.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            if self
+                .queued
+                .compare_exchange(queued, queued + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        // A worker only exits once `queued` is zero, so a reservation made
+        // before it observed zero pins the pool alive until our push lands.
+        // But if the flag was already set when we reserved, the last worker
+        // may have exited before the reservation: satisfy the claim protocol
+        // with a no-op push (some worker, or nobody, runs it) and reject.
+        let (job, accepted): (Job, bool) = if self.shut_down.load(Ordering::SeqCst) {
+            (Box::new(|| {}), false)
+        } else {
+            (job, true)
+        };
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.deques.len();
+        lock(&self.deques[slot]).push_back(job);
+        if self.parked.load(Ordering::SeqCst) > 0 {
+            let _guard = lock(&self.sleep);
+            self.work.notify_one();
+        }
+        accepted
+    }
+
+    /// Claims and returns the next job for `worker`, parking while the pool
+    /// is idle. `None` means the scheduler has shut down *and* every queued
+    /// job has been claimed — the worker should exit.
+    pub(crate) fn next_job(&self, worker: usize) -> Option<Job> {
+        // Claim one queued slot (or park, or exit).
+        loop {
+            let queued = self.queued.load(Ordering::SeqCst);
+            if queued == 0 {
+                if self.shut_down.load(Ordering::SeqCst) {
+                    return None;
+                }
+                let mut guard = lock(&self.sleep);
+                self.parked.fetch_add(1, Ordering::SeqCst);
+                while self.queued.load(Ordering::SeqCst) == 0
+                    && !self.shut_down.load(Ordering::SeqCst)
+                {
+                    guard = self
+                        .work
+                        .wait(guard)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                self.parked.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            if self
+                .queued
+                .compare_exchange(queued, queued - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        // The claim freed a capacity slot; release a blocked submitter.
+        if self.waiting_room.load(Ordering::SeqCst) > 0 {
+            let _guard = lock(&self.sleep);
+            self.room.notify_all();
+        }
+        // Find the claimed job: own deque LIFO first, then steal FIFO from
+        // victims. A miss on every deque means some submitter is between
+        // its reserve and its push — yield and rescan; the push is coming.
+        let own = worker % self.deques.len();
+        loop {
+            if let Some(job) = self.pop(own, true) {
+                return Some(job);
+            }
+            for offset in 1..self.deques.len() {
+                let victim = (own + offset) % self.deques.len();
+                if let Some(job) = self.pop(victim, false) {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(job);
+                }
+            }
+            thread::yield_now();
+        }
+    }
+
+    /// Pops from deque `index`: LIFO for a worker's own deque (when there
+    /// is more than one — the single shared queue stays FIFO, matching the
+    /// mpsc pool it emulates), FIFO when stealing.
+    fn pop(&self, index: usize, own: bool) -> Option<Job> {
+        let mut deque = lock(&self.deques[index]);
+        if own && self.deques.len() > 1 {
+            deque.pop_back()
+        } else {
+            deque.pop_front()
+        }
+    }
+
+    /// Sets the shutdown flag and wakes every parked worker and blocked
+    /// submitter. Workers drain the claim counter to zero before exiting,
+    /// so everything submitted before this call still runs.
+    pub(crate) fn shutdown(&self) {
+        self.shut_down.store(true, Ordering::SeqCst);
+        let _guard = lock(&self.sleep);
+        self.work.notify_all();
+        self.room.notify_all();
+    }
+
+    pub(crate) fn is_shut_down(&self) -> bool {
+        self.shut_down.load(Ordering::SeqCst)
+    }
+
+    /// Jobs a worker took from another worker's deque since construction.
+    pub(crate) fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}

@@ -1,7 +1,8 @@
-//! The engine: a fixed worker pool, request sharding, blocking handles, and
-//! incremental workload deltas.
+//! The engine: a work-stealing worker pool, request sharding, blocking
+//! handles, and incremental workload deltas.
 
 use crate::cache::{ArtifactCache, CacheKey, CacheStats};
+use crate::sched::{Job, Scheduler, SchedulerMode};
 use slade_core::baseline::{Baseline, BaselineConfig};
 use slade_core::bin_set::BinSet;
 use slade_core::fingerprint::Fingerprint;
@@ -14,10 +15,8 @@ use slade_core::task::{TaskId, Workload};
 use slade_core::SladeError;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{
-    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
-};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -27,9 +26,16 @@ pub struct EngineConfig {
     /// Worker threads in the pool (clamped to at least 1). The default is
     /// the machine's available parallelism.
     pub threads: usize,
-    /// Bound of the shared job queue; [`Engine::submit`] blocks when it is
-    /// full, which is the engine's backpressure. Clamped to at least 1.
+    /// Bound on jobs queued but not yet claimed by a worker;
+    /// [`Engine::submit`] blocks when it is reached, which is the engine's
+    /// backpressure. Clamped to at least 1.
     pub queue_capacity: usize,
+    /// Which queueing discipline the worker pool runs. The default,
+    /// [`SchedulerMode::WorkSteal`], gives each worker its own deque and
+    /// lets idle workers steal; [`SchedulerMode::SharedQueue`] is the
+    /// engine's original single-FIFO discipline, kept for A/B comparison.
+    /// Plans are byte-identical under either mode.
+    pub scheduler: SchedulerMode,
     /// [`ArtifactCache`] capacity in entries; `0` disables caching.
     pub cache_capacity: usize,
     /// When set, homogeneous OPQ requests of at least twice this many tasks
@@ -53,6 +59,7 @@ impl Default for EngineConfig {
         EngineConfig {
             threads: thread::available_parallelism().map_or(4, |n| n.get()),
             queue_capacity: 256,
+            scheduler: SchedulerMode::default(),
             cache_capacity: 64,
             homogeneous_shard: None,
             solver: OpqBased::default(),
@@ -218,7 +225,6 @@ struct Shard {
 }
 
 type ShardResult = (usize, Result<DecompositionPlan, EngineError>);
-type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A completion callback cloned into every shard job of one request: it runs
 /// on the worker thread **after** that shard's result has been delivered to
@@ -657,14 +663,11 @@ impl ResolvedHandle {
 
 /// The concurrent decomposition service; see the crate docs for the design.
 ///
-/// [`Engine::shutdown`] (or dropping the engine) closes the job queue and
+/// [`Engine::shutdown`] (or dropping the engine) stops the scheduler and
 /// joins every worker, so already-queued shards finish first (outstanding
 /// [`PlanHandle`]s stay valid across the shutdown).
 pub struct Engine {
-    /// `Some` while accepting work; taken by [`Engine::shutdown`] to hang up
-    /// the queue. Behind a mutex so services sharing the engine by `Arc` can
-    /// shut it down through `&self`.
-    queue: Mutex<Option<SyncSender<Job>>>,
+    sched: Arc<Scheduler>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     threads: usize,
     cache: Arc<ArtifactCache>,
@@ -674,21 +677,24 @@ pub struct Engine {
 impl Engine {
     /// Spawns the worker pool described by `config`.
     pub fn new(config: EngineConfig) -> Self {
-        let (queue, jobs) = sync_channel::<Job>(config.queue_capacity.max(1));
-        let jobs = Arc::new(Mutex::new(jobs));
         let threads = config.threads.max(1);
+        let sched = Arc::new(Scheduler::new(
+            config.scheduler,
+            threads,
+            config.queue_capacity.max(1),
+        ));
         let workers = (0..threads)
             .map(|i| {
-                let jobs = Arc::clone(&jobs);
+                let sched = Arc::clone(&sched);
                 thread::Builder::new()
                     .name(format!("slade-worker-{i}"))
-                    .spawn(move || worker_loop(&jobs))
+                    .spawn(move || worker_loop(&sched, i))
                     .expect("spawning an engine worker thread")
             })
             .collect();
         let cache = Arc::new(ArtifactCache::new(config.cache_capacity));
         Engine {
-            queue: Mutex::new(Some(queue)),
+            sched,
             workers: Mutex::new(workers),
             threads,
             cache,
@@ -701,14 +707,14 @@ impl Engine {
         self.threads
     }
 
-    /// Hangs up the job queue and joins every worker, draining already
-    /// queued shards first — so the drain is deterministic: everything
-    /// submitted before the call completes, and outstanding [`PlanHandle`]s
-    /// deliver their results as usual. Requests submitted *after* shutdown
-    /// fail with [`EngineError::ShutDown`]. Idempotent, and callable through
-    /// a shared `Arc<Engine>` (it only needs `&self`).
+    /// Stops the scheduler and joins every worker, draining already queued
+    /// shards first — so the drain is deterministic: everything submitted
+    /// before the call completes, and outstanding [`PlanHandle`]s deliver
+    /// their results as usual. Requests submitted *after* shutdown fail
+    /// with [`EngineError::ShutDown`]. Idempotent, and callable through a
+    /// shared `Arc<Engine>` (it only needs `&self`).
     pub fn shutdown(&self) {
-        drop(self.queue_slot().take()); // hang up; workers drain and exit
+        self.sched.shutdown();
         let mut workers = self.workers.lock().unwrap_or_else(|p| p.into_inner());
         for worker in workers.drain(..) {
             let _ = worker.join();
@@ -717,14 +723,14 @@ impl Engine {
 
     /// Whether [`Engine::shutdown`] has run.
     pub fn is_shut_down(&self) -> bool {
-        self.queue_slot().is_none()
+        self.sched.is_shut_down()
     }
 
-    fn queue_slot(&self) -> MutexGuard<'_, Option<SyncSender<Job>>> {
-        // Senders never panic while holding this lock except through a
-        // `send` unwind, which only happens when the receiver is gone —
-        // i.e. during teardown, when the queue state no longer matters.
-        self.queue.lock().unwrap_or_else(|p| p.into_inner())
+    /// Jobs a worker took from another worker's deque — the scheduler's
+    /// work-stealing counter. Always `0` under
+    /// [`SchedulerMode::SharedQueue`] (one shared queue has no victims).
+    pub fn steals(&self) -> u64 {
+        self.sched.steals()
     }
 
     /// Snapshot of the artifact cache's hit/miss/occupancy counters.
@@ -1008,20 +1014,9 @@ impl Engine {
     }
 
     /// Queues `job`, returning whether it was accepted (`false` once the
-    /// engine is shut down). Blocks while the queue is full (backpressure);
-    /// the lock is held across the send, so [`Engine::shutdown`] waits for
-    /// in-flight submissions instead of racing them.
+    /// engine is shut down). Blocks while the queue is full (backpressure).
     fn enqueue(&self, job: Job) -> bool {
-        let guard = self.queue_slot();
-        match guard.as_ref() {
-            Some(queue) => {
-                queue
-                    .send(job)
-                    .expect("workers only hang up after shutdown takes the sender");
-                true
-            }
-            None => false,
-        }
+        self.sched.submit(job)
     }
 
     /// Pass through untouched when the one shard already produces what a
@@ -1226,20 +1221,13 @@ impl Drop for Engine {
     }
 }
 
-fn worker_loop(jobs: &Arc<Mutex<Receiver<Job>>>) {
-    loop {
-        // Hold the lock only for the dequeue, never while solving.
-        let job = {
-            let guard = jobs.lock().unwrap_or_else(|p| p.into_inner());
-            guard.recv()
-        };
-        match job {
-            // Jobs guard their own unwinds (guard_panics), but a panic in
-            // the channel machinery itself must still not take the worker
-            // down: drop it and move to the next job.
-            Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
-            Err(_) => return, // queue hung up: engine is shutting down
-        }
+fn worker_loop(sched: &Scheduler, worker: usize) {
+    // Jobs guard their own unwinds (guard_panics), but a panic anywhere
+    // else in a job closure must still not take the worker down: swallow
+    // the unwind and move to the next job. `None` means the scheduler shut
+    // down and every queued job has been claimed.
+    while let Some(job) = sched.next_job(worker) {
+        drop(catch_unwind(AssertUnwindSafe(job)));
     }
 }
 
@@ -1732,5 +1720,267 @@ mod tests {
         assert!(WorkloadDelta::SetThresholds(vec![(0, 1.5)])
             .apply(&homo)
             .is_err());
+    }
+
+    /// A solver that announces entry and then blocks until released: lets a
+    /// test pin down *both* workers so queued jobs pile up in the deques.
+    #[derive(Debug)]
+    struct GatedSolver {
+        started: std::sync::mpsc::Sender<()>,
+        release: Mutex<std::sync::mpsc::Receiver<()>>,
+    }
+
+    impl slade_core::solver::DecompositionSolver for GatedSolver {
+        fn name(&self) -> &'static str {
+            "Gated"
+        }
+
+        fn solve(
+            &self,
+            workload: &Workload,
+            bins: &BinSet,
+        ) -> Result<DecompositionPlan, SladeError> {
+            let _ = self.started.send(());
+            let guard = self.release.lock().unwrap_or_else(|p| p.into_inner());
+            // Bounded so a broken test cannot wedge the worker forever.
+            let _ = guard.recv_timeout(Duration::from_secs(10));
+            slade_core::greedy::Greedy.solve(workload, bins)
+        }
+    }
+
+    impl PreparedSolver for GatedSolver {}
+
+    /// Pins both workers of a two-thread engine behind gates; returns the
+    /// blocked handles and the senders that release them.
+    fn gate_both_workers(
+        engine: &Engine,
+        bins: &Arc<BinSet>,
+    ) -> (Vec<PlanHandle>, Vec<std::sync::mpsc::Sender<()>>) {
+        let (started_tx, started_rx) = std::sync::mpsc::channel();
+        let mut gated = Vec::new();
+        let mut releases = Vec::new();
+        for _ in 0..2 {
+            let (release_tx, release_rx) = std::sync::mpsc::channel();
+            releases.push(release_tx);
+            gated.push(
+                engine.submit(
+                    EngineRequest::new(
+                        Algorithm::Greedy,
+                        Workload::homogeneous(4, 0.95).unwrap(),
+                        Arc::clone(bins),
+                    )
+                    .with_solver(Arc::new(GatedSolver {
+                        started: started_tx.clone(),
+                        release: Mutex::new(release_rx),
+                    })),
+                ),
+            );
+        }
+        for _ in 0..2 {
+            started_rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("both workers must pick up their gate");
+        }
+        (gated, releases)
+    }
+
+    #[test]
+    fn shutdown_while_jobs_are_queued_for_stealing_drains_deterministically() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            queue_capacity: 64,
+            homogeneous_shard: Some(8),
+            ..EngineConfig::default()
+        });
+        let bins = paper_bins();
+        let (gated, releases) = gate_both_workers(&engine, &bins);
+
+        // With both workers pinned, these multi-shard requests sit in the
+        // deques — some in the pinned workers' own deques, reachable only
+        // by stealing once a worker frees up.
+        let queued: Vec<PlanHandle> = engine.submit_batch((0..4).map(|i| {
+            EngineRequest::new(
+                Algorithm::OpqBased,
+                Workload::homogeneous(20 + 8 * i, 0.95).unwrap(),
+                Arc::clone(&bins),
+            )
+        }));
+        engine.shutdown();
+        assert!(engine.is_shut_down());
+        for release in &releases {
+            let _ = release.send(());
+        }
+
+        // Everything admitted before the shutdown still delivers, and the
+        // drained plans match a fresh single-thread engine's solves.
+        for handle in gated {
+            assert!(handle.wait().is_ok());
+        }
+        let reference = Engine::new(EngineConfig {
+            threads: 1,
+            homogeneous_shard: Some(8),
+            ..EngineConfig::default()
+        });
+        for (i, handle) in queued.into_iter().enumerate() {
+            let drained = handle.wait().expect("queued jobs drain, never drop");
+            let cold = reference
+                .solve(EngineRequest::new(
+                    Algorithm::OpqBased,
+                    Workload::homogeneous(20 + 8 * i as u32, 0.95).unwrap(),
+                    Arc::clone(&bins),
+                ))
+                .unwrap();
+            assert_eq!(drained, cold, "request {i} diverged during the drain");
+        }
+        assert_eq!(
+            engine
+                .submit(EngineRequest::new(
+                    Algorithm::OpqBased,
+                    Workload::homogeneous(4, 0.95).unwrap(),
+                    bins,
+                ))
+                .wait(),
+            Err(EngineError::ShutDown)
+        );
+    }
+
+    #[test]
+    fn worksteal_and_shared_queue_produce_identical_plans() {
+        let bins = paper_bins();
+        let batch = |_: ()| {
+            vec![
+                EngineRequest::new(
+                    Algorithm::OpqBased,
+                    Workload::homogeneous(40, 0.95).unwrap(),
+                    Arc::clone(&bins),
+                ),
+                EngineRequest::new(
+                    Algorithm::OpqExtended,
+                    Workload::heterogeneous(vec![0.95, 0.72, 0.3, 0.11, 0.3, 0.72]).unwrap(),
+                    Arc::clone(&bins),
+                ),
+                EngineRequest::new(
+                    Algorithm::Baseline,
+                    Workload::homogeneous(30, 0.9).unwrap(),
+                    Arc::clone(&bins),
+                )
+                .with_seed(0xFEED),
+            ]
+        };
+        let solve_all = |mode: SchedulerMode| {
+            let engine = Engine::new(EngineConfig {
+                threads: 4,
+                scheduler: mode,
+                homogeneous_shard: Some(16),
+                ..EngineConfig::default()
+            });
+            let plans: Vec<DecompositionPlan> = engine
+                .submit_batch(batch(()))
+                .into_iter()
+                .map(|h| h.wait().unwrap())
+                .collect();
+            (plans, engine.steals())
+        };
+        let (stealing, _) = solve_all(SchedulerMode::WorkSteal);
+        let (shared, shared_steals) = solve_all(SchedulerMode::SharedQueue);
+        assert_eq!(stealing, shared, "scheduler choice leaked into plans");
+        assert_eq!(shared_steals, 0, "the shared queue has nothing to steal");
+    }
+
+    #[test]
+    fn shard_notify_and_try_wait_agree_when_shards_are_stolen() {
+        let engine = Engine::new(EngineConfig {
+            threads: 2,
+            queue_capacity: 64,
+            ..EngineConfig::default()
+        });
+        let bins = paper_bins();
+        let (gated, releases) = gate_both_workers(&engine, &bins);
+
+        // Four threshold buckets queued behind two pinned workers: once one
+        // gate opens, its worker drains one deque and steals from the other.
+        let workload = Workload::heterogeneous(vec![0.95, 0.72, 0.3, 0.11]).unwrap();
+        let reference = Algorithm::OpqExtended.solve(&workload, &bins).unwrap();
+        let (ping_tx, ping_rx) = std::sync::mpsc::channel::<()>();
+        let notify: ShardNotify = Arc::new(move || {
+            let _ = ping_tx.send(());
+        });
+        let mut handle = engine.submit_notify(
+            EngineRequest::new(Algorithm::OpqExtended, workload, Arc::clone(&bins)),
+            notify,
+        );
+        assert!(handle.try_wait().is_none(), "nothing can be done yet");
+        let _ = releases[0].send(());
+
+        let mut pings = 0;
+        let plan = loop {
+            ping_rx
+                .recv_timeout(Duration::from_secs(20))
+                .expect("a shard must notify");
+            pings += 1;
+            if let Some(result) = handle.try_wait() {
+                break result.unwrap();
+            }
+        };
+        assert_eq!(pings, 4, "one notification per threshold bucket");
+        assert_eq!(plan, reference, "stolen shards changed the plan");
+
+        let _ = releases[1].send(());
+        for handle in gated {
+            assert!(handle.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_is_caught_even_when_stolen() {
+        // Whether the panicking job is stolen or own-popped depends on which
+        // pinned worker frees first, so run several rounds: every round must
+        // surface WorkerPanicked and keep the pool alive, and across the
+        // rounds at least one job must actually have been stolen.
+        let bins = paper_bins();
+        let mut total_steals = 0u64;
+        for round in 0..20 {
+            let engine = Engine::new(EngineConfig {
+                threads: 2,
+                queue_capacity: 16,
+                ..EngineConfig::default()
+            });
+            let (gated, releases) = gate_both_workers(&engine, &bins);
+            let doomed = engine.submit(
+                EngineRequest::new(
+                    Algorithm::Greedy,
+                    Workload::homogeneous(4, 0.95).unwrap(),
+                    Arc::clone(&bins),
+                )
+                .with_solver(Arc::new(PanickingSolver)),
+            );
+            // Alternate which gate opens first so both the own-pop and the
+            // steal path run the panicking job across the rounds.
+            let _ = releases[round % 2].send(());
+            match doomed.wait() {
+                Err(EngineError::WorkerPanicked { message }) => {
+                    assert!(message.contains("injected solver panic"), "{message}");
+                }
+                other => panic!("round {round}: expected WorkerPanicked, got {other:?}"),
+            }
+            let _ = releases[(round + 1) % 2].send(());
+            for handle in gated {
+                assert!(handle.wait().is_ok());
+            }
+            // The worker that ran the panic survived the unwind.
+            let plan = engine
+                .solve(EngineRequest::new(
+                    Algorithm::Greedy,
+                    Workload::homogeneous(4, 0.95).unwrap(),
+                    Arc::clone(&bins),
+                ))
+                .unwrap();
+            assert_eq!(plan.algorithm(), "Greedy");
+            total_steals += engine.steals();
+        }
+        assert!(
+            total_steals > 0,
+            "20 rounds with pinned workers never stole a job"
+        );
     }
 }

@@ -1,0 +1,357 @@
+//! An engine-owned, cross-session store of named [`ResolvedPlan`]s.
+//!
+//! Frontends used to keep plan namespaces per connection: a plan retained
+//! on connection A simply did not exist for connection B, and the pending
+//! marker that kept a pipelined `resubmit` from racing its producer lived
+//! in the same per-connection map. This module promotes both to one shared
+//! store with an ownership discipline, so a plan produced on one
+//! connection can be claimed and resubmitted from another (load-balanced
+//! clients, session failover) without giving up the race protection:
+//!
+//! * **plans** are stored under caller-chosen string ids, engine-wide;
+//! * **leases** — at most one session holds a plan id at a time. Producing
+//!   under an id takes the lease implicitly, resubmitting an unleased id
+//!   claims it implicitly, and [`PlanStore::claim`] /
+//!   [`PlanStore::release`] move it explicitly. A second session touching
+//!   a leased id gets [`StoreError::LeaseHeld`] — a typed conflict, not a
+//!   silent overwrite;
+//! * **pending producers** — while a solve or resubmit for an id is in
+//!   flight, the id is marked pending; anyone else touching it (including
+//!   the producing session's own later pipelined requests) gets
+//!   [`StoreError::Pending`] until the producer finishes. A failed
+//!   producer releases the id;
+//! * **session drop** ([`PlanStore::drop_session`]) releases everything
+//!   the session held — leases and pending markers — but keeps the stored
+//!   plans: plans outlive their producing connection by design.
+//!
+//! The store never blocks on the engine: every operation is a short
+//! critical section over one mutex, and the actual solving happens outside
+//! with only the pending marker held.
+//!
+//! ## Lease state machine (per plan id)
+//!
+//! ```text
+//!                 begin_produce(A)
+//!    (absent) ───────────────────────▶ leased(A) + pending(A)
+//!                                          │ finish(A, Some(plan))
+//!                                          ▼
+//!              claim(B) after A ──▶   leased(A) + plan
+//!              releases/drops   ◀──       │ release(A) / drop_session(A)
+//!                                          ▼
+//!                                     unleased + plan ──▶ begin_resubmit(B)
+//!                                                         re-enters leased(B)
+//!                                                         + pending(B)
+//! ```
+//!
+//! Invariant: whenever an id is pending, the pending session also holds
+//! the lease — producing *is* the strongest form of holding.
+
+use crate::service::ResolvedPlan;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Identifies one frontend session (connection) to the store. `0` is
+/// reserved for "no session" by convention, but the store does not treat
+/// any value specially.
+pub type SessionId = u64;
+
+/// A typed conflict from the [`PlanStore`]; frontends map these onto
+/// structured protocol errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The id names no stored plan. Carries the store's current plan count
+    /// so error messages can hint at what *is* retained.
+    UnknownPlan {
+        /// The id that was looked up.
+        id: String,
+        /// Plans currently retained in the store.
+        retained: usize,
+    },
+    /// Another session holds the id's lease.
+    LeaseHeld {
+        /// The contested id.
+        id: String,
+        /// The session holding the lease.
+        owner: SessionId,
+    },
+    /// A producer (solve or resubmit) for the id is still in flight.
+    Pending {
+        /// The contested id.
+        id: String,
+        /// The session whose request is producing the plan.
+        producer: SessionId,
+        /// The producing request's `seq` tag, when it was pipelined.
+        seq: Option<String>,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownPlan { id, retained } => {
+                write!(
+                    f,
+                    "unknown plan id `{id}`; the store retains {retained} plan(s)"
+                )
+            }
+            StoreError::LeaseHeld { id, owner } => {
+                write!(f, "plan id `{id}` is leased by session {owner}")
+            }
+            StoreError::Pending { id, producer, .. } => {
+                write!(
+                    f,
+                    "plan id `{id}` is still being produced by session {producer}"
+                )
+            }
+        }
+    }
+}
+
+/// The in-flight producer of a plan id.
+#[derive(Debug, Clone)]
+struct Producer {
+    session: SessionId,
+    /// The producing request's `seq` tag, echoed in conflict errors so a
+    /// pipelining client can tell *which* of its requests to wait for.
+    seq: Option<String>,
+}
+
+#[derive(Default)]
+struct Entry {
+    /// The stored plan; `None` while the id's first producer is in flight.
+    plan: Option<Arc<ResolvedPlan>>,
+    /// The session holding the id, if any.
+    lease: Option<SessionId>,
+    /// Set while a solve/resubmit for the id is in flight.
+    pending: Option<Producer>,
+}
+
+/// The shared store; see the module docs for the ownership discipline.
+#[derive(Default)]
+pub struct PlanStore {
+    entries: Mutex<HashMap<String, Entry>>,
+}
+
+impl PlanStore {
+    /// An empty store.
+    pub fn new() -> PlanStore {
+        PlanStore::default()
+    }
+
+    // Store state is plain data, valid at every instruction boundary; a
+    // panicking holder cannot leave an entry half-written.
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, Entry>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Marks `id` as being produced by `session`'s in-flight solve, taking
+    /// the lease. Call [`PlanStore::finish`] when the solve completes (or
+    /// fails). Fails with [`StoreError::Pending`] while another producer is
+    /// in flight and [`StoreError::LeaseHeld`] when another session holds
+    /// the id.
+    pub fn begin_produce(
+        &self,
+        session: SessionId,
+        id: &str,
+        seq: Option<&str>,
+    ) -> Result<(), StoreError> {
+        let mut entries = self.lock();
+        let entry = entries.entry(id.to_string()).or_default();
+        if let Some(producer) = &entry.pending {
+            return Err(StoreError::Pending {
+                id: id.to_string(),
+                producer: producer.session,
+                seq: producer.seq.clone(),
+            });
+        }
+        if let Some(owner) = entry.lease {
+            if owner != session {
+                return Err(StoreError::LeaseHeld {
+                    id: id.to_string(),
+                    owner,
+                });
+            }
+        }
+        entry.lease = Some(session);
+        entry.pending = Some(Producer {
+            session,
+            seq: seq.map(str::to_string),
+        });
+        Ok(())
+    }
+
+    /// Fetches `id`'s plan for a resubmit by `session`, claiming the lease
+    /// if the id is unleased and marking the id pending until
+    /// [`PlanStore::finish`]. Fails with [`StoreError::UnknownPlan`] for an
+    /// absent id, [`StoreError::Pending`] while a producer is in flight,
+    /// and [`StoreError::LeaseHeld`] when another session holds the id.
+    pub fn begin_resubmit(
+        &self,
+        session: SessionId,
+        id: &str,
+        seq: Option<&str>,
+    ) -> Result<Arc<ResolvedPlan>, StoreError> {
+        let mut entries = self.lock();
+        let retained = count_plans(&entries);
+        let Some(entry) = entries.get_mut(id) else {
+            return Err(StoreError::UnknownPlan {
+                id: id.to_string(),
+                retained,
+            });
+        };
+        if let Some(producer) = &entry.pending {
+            return Err(StoreError::Pending {
+                id: id.to_string(),
+                producer: producer.session,
+                seq: producer.seq.clone(),
+            });
+        }
+        if let Some(owner) = entry.lease {
+            if owner != session {
+                return Err(StoreError::LeaseHeld {
+                    id: id.to_string(),
+                    owner,
+                });
+            }
+        }
+        let Some(plan) = entry.plan.clone() else {
+            // A lease without plan or producer only arises if a producer's
+            // finish(None) raced a concurrent claim; treat it as unknown.
+            return Err(StoreError::UnknownPlan {
+                id: id.to_string(),
+                retained,
+            });
+        };
+        entry.lease = Some(session);
+        entry.pending = Some(Producer {
+            session,
+            seq: seq.map(str::to_string),
+        });
+        Ok(plan)
+    }
+
+    /// Completes `session`'s in-flight production of `id`: stores the plan
+    /// (replacing any previous version) on success, or — when `produced` is
+    /// `None` — rolls the marker back, removing the entry entirely if the
+    /// failed producer was the id's first. A finish for an id the session
+    /// is not the pending producer of is a no-op (the session lost the id
+    /// to a `drop_session` while solving).
+    pub fn finish(&self, session: SessionId, id: &str, produced: Option<Arc<ResolvedPlan>>) {
+        let mut entries = self.lock();
+        let Some(entry) = entries.get_mut(id) else {
+            return;
+        };
+        if !matches!(&entry.pending, Some(p) if p.session == session) {
+            return;
+        }
+        entry.pending = None;
+        if let Some(plan) = produced {
+            entry.plan = Some(plan);
+        } else if entry.plan.is_none() {
+            entries.remove(id);
+        }
+    }
+
+    /// Takes `id`'s lease for `session` (idempotent when already held).
+    /// Fails with [`StoreError::UnknownPlan`] for an absent id,
+    /// [`StoreError::Pending`] while a producer is in flight, and
+    /// [`StoreError::LeaseHeld`] when another session holds the lease —
+    /// claiming never steals.
+    pub fn claim(&self, session: SessionId, id: &str) -> Result<(), StoreError> {
+        let mut entries = self.lock();
+        let retained = count_plans(&entries);
+        let Some(entry) = entries.get_mut(id) else {
+            return Err(StoreError::UnknownPlan {
+                id: id.to_string(),
+                retained,
+            });
+        };
+        if let Some(producer) = &entry.pending {
+            if producer.session != session {
+                return Err(StoreError::Pending {
+                    id: id.to_string(),
+                    producer: producer.session,
+                    seq: producer.seq.clone(),
+                });
+            }
+        }
+        if let Some(owner) = entry.lease {
+            if owner != session {
+                return Err(StoreError::LeaseHeld {
+                    id: id.to_string(),
+                    owner,
+                });
+            }
+        }
+        entry.lease = Some(session);
+        Ok(())
+    }
+
+    /// Releases `session`'s lease on `id` so another session can claim it
+    /// (idempotent when the id is already unleased). Fails with
+    /// [`StoreError::UnknownPlan`] for an absent id, [`StoreError::Pending`]
+    /// while a producer is in flight (the producer must finish first — its
+    /// result still needs the lease to land under), and
+    /// [`StoreError::LeaseHeld`] when the lease belongs to someone else.
+    pub fn release(&self, session: SessionId, id: &str) -> Result<(), StoreError> {
+        let mut entries = self.lock();
+        let retained = count_plans(&entries);
+        let Some(entry) = entries.get_mut(id) else {
+            return Err(StoreError::UnknownPlan {
+                id: id.to_string(),
+                retained,
+            });
+        };
+        if let Some(producer) = &entry.pending {
+            return Err(StoreError::Pending {
+                id: id.to_string(),
+                producer: producer.session,
+                seq: producer.seq.clone(),
+            });
+        }
+        if let Some(owner) = entry.lease {
+            if owner != session {
+                return Err(StoreError::LeaseHeld {
+                    id: id.to_string(),
+                    owner,
+                });
+            }
+        }
+        entry.lease = None;
+        Ok(())
+    }
+
+    /// Releases everything `session` holds — leases and pending markers —
+    /// keeping the stored plans (plans outlive their producing connection).
+    /// Entries that never got a plan (the session disconnected mid-produce)
+    /// are removed.
+    pub fn drop_session(&self, session: SessionId) {
+        let mut entries = self.lock();
+        entries.retain(|_, entry| {
+            if matches!(&entry.pending, Some(p) if p.session == session) {
+                entry.pending = None;
+            }
+            if entry.lease == Some(session) {
+                entry.lease = None;
+            }
+            entry.plan.is_some() || entry.pending.is_some()
+        });
+    }
+
+    /// Plans currently retained (pending-only entries don't count).
+    pub fn count(&self) -> usize {
+        count_plans(&self.lock())
+    }
+
+    /// Ids currently leased by some session.
+    pub fn leases(&self) -> usize {
+        self.lock().values().filter(|e| e.lease.is_some()).count()
+    }
+}
+
+fn count_plans(entries: &HashMap<String, Entry>) -> usize {
+    entries.values().filter(|e| e.plan.is_some()).count()
+}

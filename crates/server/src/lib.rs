@@ -8,14 +8,26 @@
 //! response object per line (see [`protocol`] for the verb table).
 //!
 //! The piece that makes this more than a remote `batch` pipe is the
-//! **session**: each connection holds the [`ResolvedPlan`]s of its `solve`
-//! requests by client-chosen plan id, so a `resubmit` round-trip over the
-//! wire reuses cached artifacts and unchanged shard sub-plans exactly like
-//! the in-process [`Engine::resubmit`] — and inherits its guarantee: the
-//! returned plan is **byte-identical to a cold solve of the final
-//! workload** (pinned over a real socket by this crate's e2e tests, down
-//! to the serialized bytes — the shared [`json`] serializer prints floats
-//! in shortest-round-trip form precisely so that contract is testable).
+//! **plan store**: `solve` requests land their [`ResolvedPlan`]s in the
+//! engine's server-wide [`PlanStore`] under client-chosen plan ids, so a
+//! `resubmit` round-trip over the wire reuses cached artifacts and
+//! unchanged shard sub-plans exactly like the in-process
+//! [`Engine::resubmit`] — and inherits its guarantee: the returned plan
+//! is **byte-identical to a cold solve of the final workload** (pinned
+//! over a real socket by this crate's e2e tests, down to the serialized
+//! bytes — the shared [`json`] serializer prints floats in
+//! shortest-round-trip form precisely so that contract is testable).
+//!
+//! Plan ids are global but **leased**: producing a plan leases its id to
+//! the producing session, and another session touching a leased id gets a
+//! structured `lease_conflict` error rather than a race. The `claim` and
+//! `release` verbs move a lease explicitly, so a plan produced on one
+//! connection can be resubmitted from another — handover, reconnect-and-
+//! resume, load-balanced clients — with the same byte-identity guarantee
+//! (pinned by `tests/cross_session.rs`). A dropped connection releases
+//! its leases; its plans outlive it. Store conflicts carry
+//! machine-readable `code` members (`unknown_plan`, `lease_conflict`,
+//! `pending_producer`); see [`protocol`] for the table.
 //!
 //! Sessions are **pipelined and multiplexed**: a `solve`/`batch`/
 //! `resubmit` carrying a client-chosen `"seq"` tag is dispatched without
@@ -85,6 +97,7 @@
 //! [`Engine`]: slade_engine::Engine
 //! [`Engine::resubmit`]: slade_engine::Engine::resubmit
 //! [`Engine::shutdown`]: slade_engine::Engine::shutdown
+//! [`PlanStore`]: slade_engine::PlanStore
 //! [`ResolvedPlan`]: slade_engine::ResolvedPlan
 
 pub mod client;

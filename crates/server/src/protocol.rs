@@ -9,8 +9,27 @@
 //! | `solve` | the engine fields (`algorithm`, `tasks`, `threshold`, `thresholds`, `bins`, `seed`), optional `id` (retain the resolved plan in the session), optional `plan` (include the full plan), optional `seq` (pipeline the request) | summary + shard/reuse counters |
 //! | `batch` | `requests`: array of engine-field objects, optional `seq` | per-request summaries, in order |
 //! | `resubmit` | `id`, `delta` (one of `resize` / `set_thresholds` / `append`), optional `plan`, optional `seq` | summary + reuse counters for the re-solve |
+//! | `claim` | `id` (`seq` is rejected: leases move in line, at their position in the request stream) | ack; this session now holds the plan id's lease |
+//! | `release` | `id` (`seq` is rejected, as for `claim`) | ack; the plan id is unleased and claimable by any session |
 //! | `stats` | — (`seq` is rejected: stats answer in line, at their position in the request stream) | cache, per-op and per-algorithm counters |
 //! | `shutdown` | — (`seq` is rejected: shutdown first drains every tagged in-flight request, then acks) | ack; the server then drains and exits |
+//!
+//! ## Plan ids, leases, and `code`
+//!
+//! Plan ids name entries in the **server-wide** plan store: a plan
+//! retained by one connection can be resubmitted from another once it
+//! holds the id's lease. Producing under an id (a `solve` with `id`, or a
+//! `resubmit`) leases it to the producing session implicitly; `claim` and
+//! `release` move the lease explicitly; a session's leases are released
+//! when it disconnects (the plans stay). Conflicts come back as error
+//! responses carrying a machine-readable `code` member alongside the
+//! human-readable `error`:
+//!
+//! | `code` | meaning |
+//! |--------|---------|
+//! | `unknown_plan` | the id names no stored plan |
+//! | `lease_conflict` | another session holds the id's lease |
+//! | `pending_producer` | a solve/resubmit producing the id is still in flight |
 //!
 //! ## Pipelining (`seq`)
 //!
@@ -41,7 +60,9 @@ use slade_engine::{EngineRequest, WorkloadDelta};
 use std::sync::Arc;
 
 /// The protocol verbs, for error messages and dispatch tables.
-pub const VERBS: [&str; 5] = ["solve", "batch", "resubmit", "stats", "shutdown"];
+pub const VERBS: [&str; 7] = [
+    "solve", "batch", "resubmit", "claim", "release", "stats", "shutdown",
+];
 
 /// One parsed protocol request.
 #[derive(Debug)]
@@ -76,6 +97,16 @@ pub enum Request {
         want_plan: bool,
         /// Pipelining tag; `Some` makes this request non-blocking.
         seq: Option<Json>,
+    },
+    /// Take the lease on a stored plan id for this session.
+    Claim {
+        /// The plan id to lease.
+        id: String,
+    },
+    /// Give up this session's lease on a stored plan id.
+    Release {
+        /// The plan id to unlease.
+        id: String,
     },
     /// Report server counters.
     Stats,
@@ -148,6 +179,24 @@ pub fn parse_request(line: &str, default_bins: &Arc<BinSet>) -> Result<Request, 
                 delta: parse_delta(delta)?,
                 want_plan: optional_bool(&value, "plan")?,
                 seq: optional_seq(&value)?,
+            })
+        }
+        "claim" | "release" => {
+            // Like stats/shutdown, lease moves are deliberately
+            // un-pipelinable: a lease answers at its position in the
+            // request stream, so `seq` is an unknown field here.
+            for (key, _) in members {
+                if !matches!(key.as_str(), "op" | "id") {
+                    return Err(format!(
+                        "unknown field `{key}` for `{op}` (expected op, id)"
+                    ));
+                }
+            }
+            let id = optional_string(&value, "id")?.ok_or(format!("`{op}` needs a plan `id`"))?;
+            Ok(if op == "claim" {
+                Request::Claim { id }
+            } else {
+                Request::Release { id }
             })
         }
         "stats" | "shutdown" => {
@@ -450,12 +499,27 @@ pub fn plan_summary_members(
 /// known (parse failures happen before the verb is), `seq` when the failing
 /// request was tagged (so pipelining clients can correlate the error).
 pub fn error_response(op: Option<&str>, seq: Option<&Json>, message: &str) -> Json {
+    coded_error_response(op, seq, None, message)
+}
+
+/// [`error_response`] with an optional machine-readable `code` member (see
+/// the module docs' code table) placed between `seq` and `error`, so
+/// clients can branch on conflicts without parsing the message text.
+pub fn coded_error_response(
+    op: Option<&str>,
+    seq: Option<&Json>,
+    code: Option<&str>,
+    message: &str,
+) -> Json {
     let mut members = vec![member("ok", Json::Bool(false))];
     if let Some(op) = op {
         members.push(member("op", Json::string(op)));
     }
     if let Some(seq) = seq {
         members.push(member("seq", seq.clone()));
+    }
+    if let Some(code) = code {
+        members.push(member("code", Json::string(code)));
     }
     members.push(member("error", Json::string(message)));
     Json::Object(members)
@@ -561,6 +625,60 @@ mod tests {
             panic!("expected a solve");
         };
         assert_eq!(seq, Some(Json::Number(9_007_199_254_740_991.0)));
+    }
+
+    #[test]
+    fn claim_and_release_parse_strictly() {
+        let Request::Claim { id } = parse_request(r#"{"op":"claim","id":"w"}"#, &bins()).unwrap()
+        else {
+            panic!("expected a claim");
+        };
+        assert_eq!(id, "w");
+        let Request::Release { id } =
+            parse_request(r#"{"op":"release","id":"w2"}"#, &bins()).unwrap()
+        else {
+            panic!("expected a release");
+        };
+        assert_eq!(id, "w2");
+
+        // Lease moves are un-pipelinable (their effect is tied to stream
+        // position, like stats) and take nothing but an id.
+        for (line, needle) in [
+            (r#"{"op":"claim"}"#, "`claim` needs a plan `id`"),
+            (r#"{"op":"release"}"#, "`release` needs a plan `id`"),
+            (r#"{"op":"claim","id":"w","seq":1}"#, "unknown field `seq`"),
+            (
+                r#"{"op":"release","id":"w","seq":"a"}"#,
+                "unknown field `seq`",
+            ),
+            (r#"{"op":"claim","id":"w","plan":true}"#, "unknown field"),
+            (r#"{"op":"claim","id":7}"#, "`id` must be a string"),
+        ] {
+            let err = parse_request(line, &bins()).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn coded_errors_place_code_between_seq_and_error() {
+        let coded = coded_error_response(
+            Some("resubmit"),
+            Some(&Json::Number(3.0)),
+            Some("lease_conflict"),
+            "plan id `w` is leased by session 2",
+        );
+        assert_eq!(
+            coded.to_string(),
+            concat!(
+                r#"{"ok":false,"op":"resubmit","seq":3,"code":"lease_conflict","#,
+                r#""error":"plan id `w` is leased by session 2"}"#
+            )
+        );
+        // No code → byte-identical to the plain error shape.
+        assert_eq!(
+            coded_error_response(Some("solve"), None, None, "boom"),
+            error_response(Some("solve"), None, "boom")
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The TCP frontend: a thread-per-connection acceptor over one shared
-//! [`Engine`], with per-connection sessions holding resolved plans.
+//! [`Engine`], with resolved plans held in a server-wide [`PlanStore`]
+//! leased per session.
 //!
 //! Std-only by construction (the build environment has no async runtime):
 //! the acceptor blocks in `accept`, each connection gets a session, and
@@ -40,8 +41,10 @@
 //!
 //! * untagged requests are answered in request order, at their position in
 //!   the stream (tagged responses may interleave around them);
-//! * `stats` executes when the reader reaches it: its counters reflect
-//!   every request *dispatched* before it, not necessarily completed;
+//! * `stats`, `claim`, and `release` execute when the reader reaches them:
+//!   stats counters reflect every request *dispatched* before it (not
+//!   necessarily completed), and lease moves land between the surrounding
+//!   requests' store operations;
 //! * `shutdown` first drains every tagged in-flight request of this
 //!   session (each gets its normal response, bounded by its deadline),
 //!   then acks, then stops the server. A session that ends any other way
@@ -55,10 +58,10 @@ use slade_core::bin_set::BinSet;
 use slade_core::plan::DecompositionPlan;
 use slade_core::solver::Algorithm;
 use slade_engine::{
-    Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, ResolvedHandle, ResolvedPlan,
-    ShardNotify,
+    Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, PlanStore, ResolvedHandle,
+    ResolvedPlan, SessionId, ShardNotify, StoreError,
 };
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -148,6 +151,8 @@ struct Counters {
     solve: AtomicU64,
     batch: AtomicU64,
     resubmit: AtomicU64,
+    claim: AtomicU64,
+    release: AtomicU64,
     stats: AtomicU64,
     shutdown: AtomicU64,
     /// Requests that arrived with a `seq` tag (also counted under their op).
@@ -182,8 +187,10 @@ struct Shared {
     counters: Counters,
     /// Sessions currently connected.
     connections: AtomicUsize,
-    /// Resolved plans currently retained across all sessions.
-    plans_retained: AtomicUsize,
+    /// Resolved plans retained server-wide, leased per session.
+    store: PlanStore,
+    /// Session id allocator; ids start at 1 and are never reused.
+    next_session: AtomicU64,
 }
 
 impl Shared {
@@ -240,7 +247,8 @@ impl Server {
             middleware: config.request_middleware,
             counters: Counters::default(),
             connections: AtomicUsize::new(0),
-            plans_retained: AtomicUsize::new(0),
+            store: PlanStore::new(),
+            next_session: AtomicU64::new(1),
         });
         Ok(Server { listener, shared })
     }
@@ -298,18 +306,20 @@ impl Server {
     }
 }
 
-/// One connection: counts itself in, serves lines, counts itself out.
+/// One connection: counts itself in, serves lines, counts itself out. At
+/// exit the session's store state is dropped — its leases and pending
+/// markers go away, the plans it produced stay claimable by any session.
 fn session(stream: TcpStream, shared: &Shared) {
     shared.connections.fetch_add(1, Ordering::SeqCst);
+    let sid = shared.next_session.fetch_add(1, Ordering::SeqCst);
     let state = Session {
         shared,
-        plans: Mutex::new(SessionPlans::default()),
+        sid,
         gate: Gate::default(),
         default_bins: Arc::new(BinSet::paper_example()),
     };
     let _ = state.serve(&stream);
-    let retained = lock(&state.plans).plans.len();
-    shared.plans_retained.fetch_sub(retained, Ordering::SeqCst);
+    shared.store.drop_session(sid);
     shared.connections.fetch_sub(1, Ordering::SeqCst);
 }
 
@@ -319,17 +329,6 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
-/// The session's plan namespace: retained plans by client-chosen id, plus
-/// the ids whose *producing* tagged request has not completed yet. A
-/// `resubmit` against a pending id is a structured error, never a race —
-/// the id resolves to a plan only once its producer has answered.
-#[derive(Default)]
-struct SessionPlans {
-    plans: HashMap<String, Arc<ResolvedPlan>>,
-    /// id → serialized `seq` of the in-flight request producing it.
-    pending: HashMap<String, String>,
 }
 
 /// The in-flight admission gate: counts tagged requests and remembers
@@ -446,7 +445,8 @@ enum Exit {
 /// Per-connection state shared by the reader and multiplexer threads.
 struct Session<'a> {
     shared: &'a Shared,
-    plans: Mutex<SessionPlans>,
+    /// This connection's identity in the shared [`PlanStore`].
+    sid: SessionId,
     gate: Gate,
     default_bins: Arc<BinSet>,
 }
@@ -635,6 +635,14 @@ impl Session<'_> {
                     Some(seq) => self.pipeline_batch(io, dead, requests, seq),
                 }
             }
+            Ok(Request::Claim { id }) => {
+                counters.claim.fetch_add(1, Ordering::Relaxed);
+                io.respond(self.run_lease_move("claim", &id));
+            }
+            Ok(Request::Release { id }) => {
+                counters.release.fetch_add(1, Ordering::Relaxed);
+                io.respond(self.run_lease_move("release", &id));
+            }
             Ok(Request::Stats) => {
                 counters.stats.fetch_add(1, Ordering::Relaxed);
                 io.respond(self.stats_response());
@@ -718,19 +726,15 @@ impl Session<'_> {
             return;
         }
         if let Some(id) = &id {
-            let mut guard = lock(&self.plans);
-            if let Some(producer) = guard.pending.get(id).cloned() {
-                drop(guard);
+            if let Err(e) = self
+                .shared
+                .store
+                .begin_produce(self.sid, id, Some(&seq_key))
+            {
                 self.gate.release(&seq_key);
-                self.shared.counters.count_error();
-                io.respond(protocol::error_response(
-                    Some("solve"),
-                    Some(&seq),
-                    &format!("plan id `{id}` is still being produced by in-flight seq {producer}"),
-                ));
+                io.respond(self.store_error("solve", Some(&seq), &e));
                 return;
             }
-            guard.pending.insert(id.clone(), seq_key.clone());
         }
         // Register *after* computing the token but the handle *before*
         // registering is impossible (the handle is the registration): early
@@ -765,44 +769,19 @@ impl Session<'_> {
         if self.admit(io, dead, &seq, &seq_key).is_none() {
             return;
         }
-        let prior = {
-            let mut guard = lock(&self.plans);
-            if let Some(producer) = guard.pending.get(&id) {
-                let producer = producer.clone();
-                drop(guard);
+        // This request becomes the id's producer: concurrent resubmits of
+        // one id — from this session or any other — would race each
+        // other's retained state, so they queue behind the response.
+        let prior = match self
+            .shared
+            .store
+            .begin_resubmit(self.sid, &id, Some(&seq_key))
+        {
+            Ok(prior) => prior,
+            Err(e) => {
                 self.gate.release(&seq_key);
-                self.shared.counters.count_error();
-                io.respond(protocol::error_response(
-                    Some("resubmit"),
-                    Some(&seq),
-                    &format!(
-                        "plan id `{id}` is still being produced by in-flight seq {producer}; \
-                         wait for that response before resubmitting"
-                    ),
-                ));
+                io.respond(self.store_error("resubmit", Some(&seq), &e));
                 return;
-            }
-            match guard.plans.get(&id) {
-                None => {
-                    let retained = guard.plans.len();
-                    drop(guard);
-                    self.gate.release(&seq_key);
-                    self.shared.counters.count_error();
-                    io.respond(protocol::error_response(
-                        Some("resubmit"),
-                        Some(&seq),
-                        &format!("unknown plan id `{id}`; this session retains {retained} plan(s)"),
-                    ));
-                    return;
-                }
-                Some(prior) => {
-                    let prior = Arc::clone(prior);
-                    // This request is now the id's producer: concurrent
-                    // resubmits of one id would race each other's retained
-                    // state, so they queue behind the response instead.
-                    guard.pending.insert(id.clone(), seq_key.clone());
-                    prior
-                }
             }
         };
         self.shared.counters.count_algorithm(prior.algorithm());
@@ -814,7 +793,7 @@ impl Session<'_> {
             .resubmit_submit_notify(&prior, delta, notify)
         {
             Err(e) => {
-                lock(&self.plans).pending.remove(&id);
+                self.shared.store.finish(self.sid, &id, None);
                 self.gate.release(&seq_key);
                 self.shared.counters.count_error();
                 io.respond(protocol::error_response(
@@ -871,13 +850,11 @@ impl Session<'_> {
 
     fn run_solve(&self, request: EngineRequest, id: Option<String>, want_plan: bool) -> Json {
         if let Some(id) = &id {
-            if let Some(producer) = lock(&self.plans).pending.get(id) {
-                self.shared.counters.count_error();
-                return protocol::error_response(
-                    Some("solve"),
-                    None,
-                    &format!("plan id `{id}` is still being produced by in-flight seq {producer}"),
-                );
+            // An untagged producer marks the id pending too: this session
+            // is blocked until the response, but *other* sessions race
+            // freely and must see the same structured error.
+            if let Err(e) = self.shared.store.begin_produce(self.sid, id, None) {
+                return self.store_error("solve", None, &e);
             }
         }
         let resolved = self
@@ -885,12 +862,19 @@ impl Session<'_> {
             .engine
             .solve_resolved_timeout(request, self.shared.request_timeout);
         match resolved {
-            Err(e) => self.engine_error("solve", &e),
+            Err(e) => {
+                if let Some(id) = &id {
+                    self.shared.store.finish(self.sid, id, None);
+                }
+                self.engine_error("solve", &e)
+            }
             Ok(resolved) => {
                 let response =
                     resolved_response("solve", id.as_deref(), None, &resolved, want_plan);
                 if let Some(id) = id {
-                    retain_plan(self.shared, &self.plans, id, Arc::new(resolved));
+                    self.shared
+                        .store
+                        .finish(self.sid, &id, Some(Arc::new(resolved)));
                 }
                 response
             }
@@ -898,34 +882,9 @@ impl Session<'_> {
     }
 
     fn run_resubmit(&self, id: &str, delta: &slade_engine::WorkloadDelta, want_plan: bool) -> Json {
-        let prior = {
-            let guard = lock(&self.plans);
-            if let Some(producer) = guard.pending.get(id) {
-                let producer = producer.clone();
-                drop(guard);
-                self.shared.counters.count_error();
-                return protocol::error_response(
-                    Some("resubmit"),
-                    None,
-                    &format!(
-                        "plan id `{id}` is still being produced by in-flight seq {producer}; \
-                         wait for that response before resubmitting"
-                    ),
-                );
-            }
-            match guard.plans.get(id) {
-                None => {
-                    let retained = guard.plans.len();
-                    drop(guard);
-                    self.shared.counters.count_error();
-                    return protocol::error_response(
-                        Some("resubmit"),
-                        None,
-                        &format!("unknown plan id `{id}`; this session retains {retained} plan(s)"),
-                    );
-                }
-                Some(prior) => Arc::clone(prior),
-            }
+        let prior = match self.shared.store.begin_resubmit(self.sid, id, None) {
+            Ok(prior) => prior,
+            Err(e) => return self.store_error("resubmit", None, &e),
         };
         self.shared.counters.count_algorithm(prior.algorithm());
         match self
@@ -933,14 +892,62 @@ impl Session<'_> {
             .engine
             .resubmit_timeout(&prior, delta, self.shared.request_timeout)
         {
-            Err(e) => self.engine_error("resubmit", &e),
+            Err(e) => {
+                self.shared.store.finish(self.sid, id, None);
+                self.engine_error("resubmit", &e)
+            }
             Ok(resolved) => {
                 let response = resolved_response("resubmit", Some(id), None, &resolved, want_plan);
                 // Chained resubmits build on the latest state of the id.
-                retain_plan(self.shared, &self.plans, id.to_string(), Arc::new(resolved));
+                self.shared
+                    .store
+                    .finish(self.sid, id, Some(Arc::new(resolved)));
                 response
             }
         }
+    }
+
+    /// Runs a `claim` or `release` verb against the shared store.
+    fn run_lease_move(&self, op: &'static str, id: &str) -> Json {
+        let moved = match op {
+            "claim" => self.shared.store.claim(self.sid, id),
+            _ => self.shared.store.release(self.sid, id),
+        };
+        match moved {
+            Err(e) => self.store_error(op, None, &e),
+            Ok(()) => Json::Object(vec![
+                member("ok", Json::Bool(true)),
+                member("op", Json::string(op)),
+                member("id", Json::string(id)),
+                member("session", Json::number(self.sid as f64)),
+            ]),
+        }
+    }
+
+    /// Maps a [`StoreError`] onto a coded error response. Same-session
+    /// pending conflicts name the producing request's `seq` tag (the
+    /// pipelining client should wait for that response); cross-session
+    /// conflicts name the producing session instead.
+    fn store_error(&self, op: &str, seq: Option<&Json>, error: &StoreError) -> Json {
+        self.shared.counters.count_error();
+        let (code, message) = match error {
+            StoreError::Pending {
+                id,
+                producer,
+                seq: producer_seq,
+            } => {
+                let message = match producer_seq {
+                    Some(tag) if *producer == self.sid => {
+                        format!("plan id `{id}` is still being produced by in-flight seq {tag}")
+                    }
+                    _ => format!("plan id `{id}` is still being produced by session {producer}"),
+                };
+                ("pending_producer", message)
+            }
+            StoreError::LeaseHeld { .. } => ("lease_conflict", error.to_string()),
+            StoreError::UnknownPlan { .. } => ("unknown_plan", error.to_string()),
+        };
+        protocol::coded_error_response(Some(op), seq, Some(code), &message)
     }
 
     /// Runs a `batch` verb exactly the way `slade-cli batch` runs a JSONL
@@ -989,6 +996,8 @@ impl Session<'_> {
                     member("solve", count(&shared.counters.solve)),
                     member("batch", count(&shared.counters.batch)),
                     member("resubmit", count(&shared.counters.resubmit)),
+                    member("claim", count(&shared.counters.claim)),
+                    member("release", count(&shared.counters.release)),
                     member("stats", count(&shared.counters.stats)),
                     member("shutdown", count(&shared.counters.shutdown)),
                     member("pipelined", count(&shared.counters.pipelined)),
@@ -1009,27 +1018,12 @@ impl Session<'_> {
                 "connections",
                 Json::number(shared.connections.load(Ordering::SeqCst) as f64),
             ),
-            member(
-                "plans",
-                Json::number(shared.plans_retained.load(Ordering::SeqCst) as f64),
-            ),
+            member("plans", Json::number(shared.store.count() as f64)),
+            member("leases", Json::number(shared.store.leases() as f64)),
+            member("steals", Json::number(shared.engine.steals() as f64)),
             member("threads", Json::number(shared.engine.threads() as f64)),
             member("max_inflight", Json::number(shared.max_inflight as f64)),
         ])
-    }
-}
-
-/// Retains `resolved` under `id`, clearing any pending-producer marker.
-fn retain_plan(
-    shared: &Shared,
-    plans: &Mutex<SessionPlans>,
-    id: String,
-    resolved: Arc<ResolvedPlan>,
-) {
-    let mut guard = lock(plans);
-    guard.pending.remove(&id);
-    if guard.plans.insert(id, resolved).is_none() {
-        shared.plans_retained.fetch_add(1, Ordering::SeqCst);
     }
 }
 
@@ -1259,7 +1253,7 @@ impl Mux<'_, '_> {
                 // Dead connection: nobody can read responses. Release the
                 // bookkeeping; dropping the handles abandons the shards.
                 if let PendingWork::Single { id: Some(id), .. } = &entry.work {
-                    lock(&self.session.plans).pending.remove(id);
+                    self.session.shared.store.finish(self.session.sid, id, None);
                 }
                 self.session.gate.release(&entry.seq_key);
                 continue;
@@ -1310,7 +1304,9 @@ impl Mux<'_, '_> {
                         let response =
                             resolved_response(op, id.as_deref(), Some(&seq), &resolved, want_plan);
                         if let Some(id) = id {
-                            retain_plan(shared, &self.session.plans, id, Arc::new(resolved));
+                            shared
+                                .store
+                                .finish(self.session.sid, &id, Some(Arc::new(resolved)));
                         }
                         response
                     }
@@ -1319,7 +1315,7 @@ impl Mux<'_, '_> {
                             // A failed producer releases the id; the
                             // previously retained plan (if any) stays the
                             // id's current state.
-                            lock(&self.session.plans).pending.remove(id);
+                            shared.store.finish(self.session.sid, id, None);
                         }
                         shared.counters.count_error();
                         protocol::error_response(Some(op), Some(&seq), &e.to_string())

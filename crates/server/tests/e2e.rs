@@ -222,18 +222,22 @@ fn batch_and_stats_verbs_work_over_the_wire() {
 }
 
 #[test]
-fn sessions_have_independent_plan_namespaces() {
+fn plan_ids_are_shared_but_leased_to_their_producing_session() {
     let (addr, shutdown, done) = start_server();
     let mut alice = connect(addr);
     let mut bob = connect(addr);
 
     ok_roundtrip(&mut alice, r#"{"op":"solve","id":"w","tasks":10}"#);
-    // Bob cannot see (or resubmit) Alice's plan.
+    // The plan lives in the server-wide store, but producing it leased the
+    // id to Alice: Bob's resubmit is a structured lease conflict, never a
+    // race on Alice's retained state.
     let response = bob
         .roundtrip(r#"{"op":"resubmit","id":"w","delta":{"resize":20}}"#)
         .unwrap();
     assert!(
-        response.contains("\"ok\":false") && response.contains("unknown plan id"),
+        response.contains("\"ok\":false")
+            && response.contains("\"code\":\"lease_conflict\"")
+            && response.contains("is leased by session"),
         "{response}"
     );
     // Alice still can.

@@ -241,7 +241,11 @@ fn concurrency_soak_many_connections_interleaving_solves_and_resubmits() {
 
     // Per-connection script: retain PLANS ids untagged, then resubmit each
     // (tagged, shuffled seqs) interleaved with tagged solves and an
-    // untagged stats probe. Resubmits target distinct ids, so each id sees
+    // untagged stats probe. Plan ids live in the server-wide store now, so
+    // every connection prefixes its ids with its own tag — a shared id
+    // would be a lease conflict, which cross_session.rs pins separately —
+    // and comparisons against the baseline strip the id echo along with
+    // the seq. Resubmits still target distinct ids, so each id sees
     // exactly one producer and the responses are order-independent.
     const PLANS: usize = 4;
     const DELTAS: [&str; PLANS] = [
@@ -250,43 +254,64 @@ fn concurrency_soak_many_connections_interleaving_solves_and_resubmits() {
         r#"{"set_thresholds":[[0,0.6]]}"#,
         r#"{"resize":3}"#,
     ];
-    fn resubmit(j: usize, seq: &str) -> String {
+    fn resubmit(prefix: &str, j: usize, seq: &str) -> String {
         format!(
-            r#"{{"op":"resubmit","id":"w{j}","delta":{},"seq":"{seq}"}}"#,
+            r#"{{"op":"resubmit","id":"{prefix}{j}","delta":{},"seq":"{seq}"}}"#,
             DELTAS[j]
         )
     }
-    let setup: Vec<String> = (0..PLANS)
-        .map(|j| {
-            format!(
-                r#"{{"op":"solve","id":"w{j}","tasks":{},"threshold":0.95}}"#,
-                10 + j
-            )
-        })
-        .collect();
+    fn setup_lines(prefix: &str) -> Vec<String> {
+        (0..PLANS)
+            .map(|j| {
+                format!(
+                    r#"{{"op":"solve","id":"{prefix}{j}","tasks":{},"threshold":0.95}}"#,
+                    10 + j
+                )
+            })
+            .collect()
+    }
+    /// Strips the echoed `seq` and the connection-specific `id` before a
+    /// cross-connection comparison.
+    fn comparable(line: &str) -> String {
+        let value = json::parse(line).expect("responses are valid JSON");
+        let Json::Object(members) = value else {
+            panic!("response is not an object: {line}");
+        };
+        Json::Object(
+            members
+                .into_iter()
+                .filter(|(k, _)| k != "seq" && k != "id")
+                .collect(),
+        )
+        .to_string()
+    }
 
     // Baseline, untagged, on its own connection (same session shape).
     let mut baseline_conn = connect(addr);
-    for line in &setup {
+    for line in &setup_lines("b") {
         let response = baseline_conn.roundtrip(line).expect("baseline setup");
         assert!(response.contains("\"ok\":true"), "{response}");
     }
     let mut baseline_resubmits = Vec::new();
     for (j, delta) in DELTAS.iter().enumerate() {
-        let line = format!(r#"{{"op":"resubmit","id":"w{j}","delta":{delta}}}"#);
-        baseline_resubmits.push(baseline_conn.roundtrip(&line).expect("baseline resubmit"));
+        let line = format!(r#"{{"op":"resubmit","id":"b{j}","delta":{delta}}}"#);
+        // Some deltas intentionally produce error responses (appending
+        // per-task thresholds to an OpqBased plan); those are part of the
+        // baseline too — errors must be as deterministic as plans.
+        let response = baseline_conn.roundtrip(&line).expect("baseline resubmit");
+        baseline_resubmits.push(comparable(&response));
     }
     let solve_line = r#"{"tasks":21,"threshold":0.9}"#;
-    let baseline_solve = baseline_conn.roundtrip(solve_line).expect("baseline solve");
+    let baseline_solve = comparable(&baseline_conn.roundtrip(solve_line).expect("baseline solve"));
 
     let workers: Vec<_> = (0..3u64)
         .map(|worker| {
             let baseline_resubmits = baseline_resubmits.clone();
             let baseline_solve = baseline_solve.clone();
-            let setup = setup.clone();
             thread::spawn(move || {
+                let prefix = format!("c{worker}-");
                 let mut client = connect(addr);
-                for line in &setup {
+                for line in &setup_lines(&prefix) {
                     let response = client.roundtrip(line).expect("soak setup");
                     assert!(response.contains("\"ok\":true"), "{response}");
                 }
@@ -297,7 +322,7 @@ fn concurrency_soak_many_connections_interleaving_solves_and_resubmits() {
                 let mut requests: Vec<(String, String)> = Vec::new(); // (seq, expected)
                 for (j, expected) in baseline_resubmits.iter().enumerate() {
                     let seq = format!("r{worker}-{j}");
-                    requests.push((resubmit(j, &seq), expected.clone()));
+                    requests.push((resubmit(&prefix, j, &seq), expected.clone()));
                 }
                 for k in 0..PLANS {
                     let seq = format!("s{worker}-{k}");
@@ -324,7 +349,7 @@ fn concurrency_soak_many_connections_interleaving_solves_and_resubmits() {
                         stats_seen = true;
                         continue;
                     }
-                    seen.insert(seq_of(&line), strip_seq(&line));
+                    seen.insert(seq_of(&line), comparable(&line));
                 }
                 assert!(stats_seen, "stats response must arrive");
                 for (line, expected) in &requests {
