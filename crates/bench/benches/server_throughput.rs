@@ -23,7 +23,7 @@ use slade_bench::harness::full_sweep;
 use slade_bench::report::{write_json, BenchRecord};
 use slade_bench::sweeps;
 use slade_engine::EngineConfig;
-use slade_server::{Client, Server, ServerConfig};
+use slade_server::{Client, ObsOptions, Server, ServerConfig};
 use std::time::{Duration, Instant};
 
 /// Timed repetitions per configuration; the best run is reported.
@@ -41,6 +41,10 @@ fn request_lines(full: bool) -> Vec<String> {
 }
 
 fn start_server(cache: usize) -> (Server, std::net::SocketAddr) {
+    start_server_obs(cache, true)
+}
+
+fn start_server_obs(cache: usize, obs_enabled: bool) -> (Server, std::net::SocketAddr) {
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         engine: EngineConfig {
@@ -48,6 +52,10 @@ fn start_server(cache: usize) -> (Server, std::net::SocketAddr) {
             ..EngineConfig::default()
         },
         request_timeout: Duration::from_secs(600),
+        obs: ObsOptions {
+            enabled: obs_enabled,
+            ..ObsOptions::default()
+        },
         ..ServerConfig::default()
     })
     .expect("binding a loopback port");
@@ -128,7 +136,20 @@ fn bench_batch_verb(lines: &[String]) -> f64 {
 /// connection (the seam #11 scenario; `window` plays the role of the CLI's
 /// `--pipeline N`).
 fn bench_pipelined(cache: usize, warm: bool, lines: &[String], window: usize) -> f64 {
-    let (server, addr) = start_server(cache);
+    bench_pipelined_obs(cache, warm, lines, window, true)
+}
+
+/// The pipelined scenario with observability switched on or off — the A/B
+/// pair quantifying what the always-on instrumentation (registry counters,
+/// latency histograms) costs on the hottest path.
+fn bench_pipelined_obs(
+    cache: usize,
+    warm: bool,
+    lines: &[String],
+    window: usize,
+    obs_enabled: bool,
+) -> f64 {
+    let (server, addr) = start_server_obs(cache, obs_enabled);
     let shutdown = server.shutdown_handle();
     let running = std::thread::spawn(move || server.run());
 
@@ -202,6 +223,16 @@ fn main() {
          (window {PIPELINE_WINDOW}, steady state, vs cold sequential {:.2}x)",
         pipelined / cold
     );
+    // The observability A/B: the same steady-state pipelined scenario with
+    // metrics and tracing disabled. `overhead` below is obs-off/obs-on —
+    // how much throughput the always-on instrumentation costs (the
+    // acceptance bar is ≤ 3%, i.e. a ratio ≤ 1.03 modulo run noise).
+    let pipelined_obs_off = bench_pipelined_obs(64, true, &lines, PIPELINE_WINDOW, false);
+    println!(
+        "server/solve/pipelined-obs-off {pipelined_obs_off:>7.0} req/s \
+         (obs off; obs-on/off throughput ratio {:.3})",
+        pipelined / pipelined_obs_off
+    );
 
     let records = vec![
         record("server/solve/cold", n, cold),
@@ -210,6 +241,8 @@ fn main() {
         record("server/solve/pipelined-cold", n, pipelined_cold)
             .with_speedup(pipelined_cold / cold),
         record("server/solve/pipelined", n, pipelined).with_speedup(pipelined / cold),
+        record("server/solve/pipelined-obs-off", n, pipelined_obs_off)
+            .with_speedup(pipelined_obs_off / pipelined),
     ];
     write_json("BENCH_server.json", &records).expect("writing BENCH_server.json");
 }

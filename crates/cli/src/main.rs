@@ -7,6 +7,7 @@
 //! slade-cli batch    [--threads N] [--cache N]   (JSONL requests on stdin)
 //! slade-cli serve    [--addr HOST:PORT] [--threads N] [--cache N]
 //!                    [--max-inflight N] [--scheduler MODE]
+//!                    [--trace-log FILE] [--slow-ms N]
 //! slade-cli client   --connect HOST:PORT [--pipeline N]
 //!                                                 (JSONL requests on stdin)
 //! slade-cli algorithms
@@ -75,6 +76,10 @@ OPTIONS (serve):
     --scheduler MODE        Engine worker scheduler: work-steal (per-worker
                             deques with stealing) or shared-queue (one
                             FIFO, for A/B comparison) [default: work-steal]
+    --trace-log FILE        Append every completed traced span (requests
+                            sent with \"trace\":true) to FILE as JSON lines
+    --slow-ms N             Log any traced request slower than N ms
+                            end-to-end to stderr
 
 OPTIONS (client):
     --connect HOST:PORT     Server to talk to (required). Requests are read
@@ -295,6 +300,7 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
     let mut timeout_secs: u64 = 60;
     let mut max_inflight = ServerConfig::default().max_inflight;
     let mut scheduler = defaults.scheduler;
+    let mut obs = slade_server::ObsOptions::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -328,6 +334,12 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
                     .parse()
                     .map_err(|e: String| CliError::Usage(format!("--scheduler: {e}")))?;
             }
+            "--trace-log" => {
+                obs.trace_log = Some(std::path::PathBuf::from(value("--trace-log")?));
+            }
+            "--slow-ms" => {
+                obs.slow_ms = Some(parse_num::<u64>(&value("--slow-ms")?, "--slow-ms")?);
+            }
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown flag `{other}` for `serve`"
@@ -345,6 +357,7 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
         },
         request_timeout: Duration::from_secs(timeout_secs),
         max_inflight,
+        obs,
         ..ServerConfig::default()
     })
 }
@@ -913,6 +926,59 @@ mod tests {
     }
 
     #[test]
+    fn serve_trace_log_round_trip_writes_jsonl_spans() {
+        use std::sync::mpsc;
+        use std::thread;
+        use std::time::Duration;
+
+        let log_path =
+            std::env::temp_dir().join(format!("slade-cli-trace-log-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&log_path);
+
+        let (tx, rx) = mpsc::channel();
+        let flags = format!(
+            "--addr 127.0.0.1:0 --threads 2 --cache 8 --trace-log {}",
+            log_path.display()
+        );
+        let serving = thread::spawn(move || {
+            run_serve(&argv(&flags), &move |a| {
+                tx.send(a).unwrap();
+            })
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("server must announce its address");
+
+        let input = concat!(
+            "{\"op\":\"solve\",\"tasks\":4,\"threshold\":0.95,\"trace\":true}\n",
+            "{\"op\":\"shutdown\"}\n"
+        );
+        let out = run_client(&argv(&format!("--connect {addr}")), input).unwrap();
+        assert!(
+            out.contains("\"trace\":1"),
+            "trace id must be echoed: {out}"
+        );
+        serving.join().unwrap().unwrap();
+
+        let log = std::fs::read_to_string(&log_path).expect("trace log must exist");
+        let spans: Vec<&str> = log.lines().collect();
+        assert_eq!(spans.len(), 1, "one traced request, one JSONL span: {log}");
+        let span = slade_server::json::parse(spans[0]).expect("span lines are JSON");
+        assert_eq!(span.get("op").and_then(Json::as_str), Some("solve"));
+        let events = span
+            .get("events")
+            .and_then(Json::as_array)
+            .expect("span has events");
+        let stages: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("stage").and_then(Json::as_str))
+            .collect();
+        assert!(stages.contains(&"queued"), "{stages:?}");
+        assert!(stages.contains(&"written"), "{stages:?}");
+        let _ = std::fs::remove_file(&log_path);
+    }
+
+    #[test]
     fn serve_and_client_flag_errors_are_usage_errors() {
         for bad in [
             "serve --frobnicate",
@@ -922,6 +988,9 @@ mod tests {
             "serve --scheduler bogus",
             "serve --scheduler",
             "serve --addr",
+            "serve --trace-log",
+            "serve --slow-ms",
+            "serve --slow-ms fast",
             "client",
             "client --port 80",
             "client --connect 127.0.0.1:9 --pipeline 0",

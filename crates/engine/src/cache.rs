@@ -85,6 +85,18 @@ pub struct CacheStats {
     pub capacity: usize,
 }
 
+impl CacheStats {
+    /// Hits as a fraction of all lookups, `0.0` when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 impl ArtifactCache {
     /// Creates a cache holding at most `capacity` artifact sets.
     pub fn new(capacity: usize) -> Self {

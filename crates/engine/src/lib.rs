@@ -102,8 +102,8 @@ mod store;
 pub use cache::{ArtifactCache, CacheKey, CacheStats};
 pub use sched::SchedulerMode;
 pub use service::{
-    Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, ResolvedHandle, ResolvedPlan,
-    ShardNotify, WorkloadDelta,
+    Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, RequestTrace, ResolvedHandle,
+    ResolvedPlan, ShardNotify, WorkloadDelta,
 };
 pub use store::{PlanStore, SessionId, StoreError};
 // The fingerprint type cache keys are built from now lives in `slade_core`,

@@ -42,7 +42,19 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 use std::thread;
 
 /// One queued unit of work (a shard solve, boxed with its result channel).
-pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+/// The worker hands the job its [`JobCtx`] — which worker ran it and how it
+/// was dequeued — so jobs can stamp scheduling provenance into request
+/// traces without the scheduler knowing what a trace is.
+pub(crate) type Job = Box<dyn FnOnce(JobCtx) + Send + 'static>;
+
+/// How a job reached the worker running it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JobCtx {
+    /// Index of the worker executing the job.
+    pub worker: usize,
+    /// Whether the job was stolen from another worker's deque.
+    pub stolen: bool,
+}
 
 /// Which queueing discipline the engine's worker pool runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -109,6 +121,12 @@ pub(crate) struct Scheduler {
     next: AtomicUsize,
     /// Jobs taken from a deque other than the claiming worker's own.
     steals: AtomicU64,
+    /// Park episodes: times a worker went to sleep on `work` because the
+    /// claim counter read zero (spurious condvar wakeups inside one
+    /// episode are not re-counted).
+    parks: AtomicU64,
+    /// Wakeups: times a submitter notified a parked worker.
+    wakes: AtomicU64,
 }
 
 /// Locks a mutex, shrugging off poisoning: scheduler state is a deque of
@@ -137,6 +155,8 @@ impl Scheduler {
             capacity: capacity.max(1),
             next: AtomicUsize::new(0),
             steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
         }
     }
 
@@ -178,7 +198,7 @@ impl Scheduler {
         // may have exited before the reservation: satisfy the claim protocol
         // with a no-op push (some worker, or nobody, runs it) and reject.
         let (job, accepted): (Job, bool) = if self.shut_down.load(Ordering::SeqCst) {
-            (Box::new(|| {}), false)
+            (Box::new(|_| {}), false)
         } else {
             (job, true)
         };
@@ -186,15 +206,17 @@ impl Scheduler {
         lock(&self.deques[slot]).push_back(job);
         if self.parked.load(Ordering::SeqCst) > 0 {
             let _guard = lock(&self.sleep);
+            self.wakes.fetch_add(1, Ordering::Relaxed);
             self.work.notify_one();
         }
         accepted
     }
 
-    /// Claims and returns the next job for `worker`, parking while the pool
-    /// is idle. `None` means the scheduler has shut down *and* every queued
-    /// job has been claimed — the worker should exit.
-    pub(crate) fn next_job(&self, worker: usize) -> Option<Job> {
+    /// Claims and returns the next job for `worker` along with whether it
+    /// was stolen, parking while the pool is idle. `None` means the
+    /// scheduler has shut down *and* every queued job has been claimed —
+    /// the worker should exit.
+    pub(crate) fn next_job(&self, worker: usize) -> Option<(Job, bool)> {
         // Claim one queued slot (or park, or exit).
         loop {
             let queued = self.queued.load(Ordering::SeqCst);
@@ -204,6 +226,7 @@ impl Scheduler {
                 }
                 let mut guard = lock(&self.sleep);
                 self.parked.fetch_add(1, Ordering::SeqCst);
+                self.parks.fetch_add(1, Ordering::Relaxed);
                 while self.queued.load(Ordering::SeqCst) == 0
                     && !self.shut_down.load(Ordering::SeqCst)
                 {
@@ -234,13 +257,13 @@ impl Scheduler {
         let own = worker % self.deques.len();
         loop {
             if let Some(job) = self.pop(own, true) {
-                return Some(job);
+                return Some((job, false));
             }
             for offset in 1..self.deques.len() {
                 let victim = (own + offset) % self.deques.len();
                 if let Some(job) = self.pop(victim, false) {
                     self.steals.fetch_add(1, Ordering::Relaxed);
-                    return Some(job);
+                    return Some((job, true));
                 }
             }
             thread::yield_now();
@@ -276,5 +299,20 @@ impl Scheduler {
     /// Jobs a worker took from another worker's deque since construction.
     pub(crate) fn steals(&self) -> u64 {
         self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Jobs submitted but not yet claimed by a worker — the queue depth.
+    pub(crate) fn depth(&self) -> usize {
+        self.queued.load(Ordering::SeqCst)
+    }
+
+    /// Worker park episodes since construction.
+    pub(crate) fn parks(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    /// Submitter-to-worker wakeups since construction.
+    pub(crate) fn wakes(&self) -> u64 {
+        self.wakes.load(Ordering::Relaxed)
     }
 }

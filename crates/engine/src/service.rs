@@ -2,7 +2,7 @@
 //! handles, and incremental workload deltas.
 
 use crate::cache::{ArtifactCache, CacheKey, CacheStats};
-use crate::sched::{Job, Scheduler, SchedulerMode};
+use crate::sched::{Job, JobCtx, Scheduler, SchedulerMode};
 use slade_core::baseline::{Baseline, BaselineConfig};
 use slade_core::bin_set::BinSet;
 use slade_core::fingerprint::Fingerprint;
@@ -67,6 +67,13 @@ impl Default for EngineConfig {
     }
 }
 
+/// A request span shards record their scheduling provenance into: the
+/// engine stamps `shard_start` / `shard_finish` stages (with shard index,
+/// worker index, and whether the job was stolen) as each shard runs.
+/// Recording is one short mutex around a timestamp and a push — it never
+/// blocks a worker behind I/O. Attached via [`EngineRequest::with_trace`].
+pub type RequestTrace = Arc<slade_obs::RequestSpan>;
+
 /// One decomposition request, self-contained and cheap to move across
 /// threads (the bin menu is shared by `Arc`).
 #[derive(Clone)]
@@ -83,6 +90,9 @@ pub struct EngineRequest {
     /// When set, this solver runs instead of the registry default for
     /// `algorithm` — see [`EngineRequest::with_solver`].
     solver_override: Option<Arc<dyn PreparedSolver + Send + Sync>>,
+    /// When set, shard jobs record their stages into this span — see
+    /// [`EngineRequest::with_trace`].
+    trace: Option<RequestTrace>,
 }
 
 impl fmt::Debug for EngineRequest {
@@ -96,6 +106,7 @@ impl fmt::Debug for EngineRequest {
                 "solver_override",
                 &self.solver_override.as_ref().map(|s| s.name()),
             )
+            .field("trace", &self.trace.as_ref().map(|t| t.id()))
             .finish()
     }
 }
@@ -109,6 +120,7 @@ impl EngineRequest {
             bins,
             seed: 0,
             solver_override: None,
+            trace: None,
         }
     }
 
@@ -127,6 +139,18 @@ impl EngineRequest {
     #[must_use]
     pub fn with_solver(mut self, solver: Arc<dyn PreparedSolver + Send + Sync>) -> Self {
         self.solver_override = Some(solver);
+        self
+    }
+
+    /// Attaches a [`RequestTrace`]: every shard job of this request records
+    /// a `shard_start` stage before it computes and a `shard_finish` stage
+    /// after (both carrying the shard index, the worker that ran it, and
+    /// whether the job was stolen from another worker's deque). Tracing
+    /// changes nothing about the plan; an untraced request skips all
+    /// recording.
+    #[must_use]
+    pub fn with_trace(mut self, trace: RequestTrace) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -733,6 +757,24 @@ impl Engine {
         self.sched.steals()
     }
 
+    /// Jobs submitted but not yet claimed by a worker — the scheduler's
+    /// queue depth at this instant.
+    pub fn queue_depth(&self) -> usize {
+        self.sched.depth()
+    }
+
+    /// Worker park episodes since the pool was spawned: times a worker went
+    /// to sleep because no work was queued.
+    pub fn parks(&self) -> u64 {
+        self.sched.parks()
+    }
+
+    /// Submitter-to-worker wakeups since the pool was spawned: times a
+    /// submission notified a parked worker.
+    pub fn wakes(&self) -> u64 {
+        self.sched.wakes()
+    }
+
     /// Snapshot of the artifact cache's hit/miss/occupancy counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -883,15 +925,55 @@ impl Engine {
         self.resubmit_submit_with(prior, delta, Some(notify))
     }
 
+    /// [`Engine::resubmit_submit`] carrying an explicit [`RequestTrace`]:
+    /// the resubmitted request is cloned from `prior` *inside* the engine,
+    /// so a frontend that wants this resubmission's shard stages recorded
+    /// must hand the span in here — it cannot attach one to a request it
+    /// never constructs.
+    pub fn resubmit_submit_traced(
+        &self,
+        prior: &ResolvedPlan,
+        delta: &WorkloadDelta,
+        notify: Option<ShardNotify>,
+        trace: Option<RequestTrace>,
+    ) -> Result<ResolvedHandle, EngineError> {
+        self.resubmit_submit_inner(prior, delta, notify, trace)
+    }
+
+    /// [`Engine::resubmit_timeout`] carrying an explicit [`RequestTrace`]
+    /// (see [`Engine::resubmit_submit_traced`] for why the span is a
+    /// parameter here).
+    pub fn resubmit_timeout_traced(
+        &self,
+        prior: &ResolvedPlan,
+        delta: &WorkloadDelta,
+        timeout: Duration,
+        trace: Option<RequestTrace>,
+    ) -> Result<ResolvedPlan, EngineError> {
+        self.resubmit_submit_inner(prior, delta, None, trace)?
+            .collect(deadline_after(timeout))
+    }
+
     fn resubmit_submit_with(
         &self,
         prior: &ResolvedPlan,
         delta: &WorkloadDelta,
         notify: Option<ShardNotify>,
     ) -> Result<ResolvedHandle, EngineError> {
+        self.resubmit_submit_inner(prior, delta, notify, None)
+    }
+
+    fn resubmit_submit_inner(
+        &self,
+        prior: &ResolvedPlan,
+        delta: &WorkloadDelta,
+        notify: Option<ShardNotify>,
+        trace: Option<RequestTrace>,
+    ) -> Result<ResolvedHandle, EngineError> {
         let workload = delta.apply(&prior.request.workload)?;
         let mut request = prior.request.clone();
         request.workload = workload;
+        request.trace = trace;
         Ok(self.submit_resolved_with(request, Some(prior), notify))
     }
 
@@ -931,7 +1013,7 @@ impl Engine {
     /// handle (which merges in shard order).
     fn submit_resolved_with(
         &self,
-        request: EngineRequest,
+        mut request: EngineRequest,
         prior: Option<&ResolvedPlan>,
         notify: Option<ShardNotify>,
     ) -> ResolvedHandle {
@@ -995,6 +1077,11 @@ impl Engine {
             works.push(shard.work);
             remaps.push(shard.remap);
         }
+
+        // The stored request seeds future resubmissions via `prior.request
+        // .clone()`. Drop the span first: a clone must never write stages
+        // into a trace that finished with an earlier response.
+        request.trace = None;
 
         ResolvedHandle {
             rx: result_rx,
@@ -1124,7 +1211,11 @@ impl Engine {
                 let bins = Arc::clone(&request.bins);
                 let cache = Arc::clone(&self.cache);
                 let solver = self.config.solver.clone();
-                Box::new(move || {
+                let trace = request.trace.clone();
+                Box::new(move |ctx: JobCtx| {
+                    if let Some(trace) = &trace {
+                        trace.record_shard("shard_start", index, ctx.worker, ctx.stolen);
+                    }
                     let result = guard_panics(AssertUnwindSafe(|| {
                         let theta = reliability::theta(threshold);
                         let key = CacheKey {
@@ -1136,6 +1227,11 @@ impl Engine {
                         let workload = Workload::homogeneous(n, threshold)?;
                         Ok(solver.solve_with(artifacts.as_ref(), &workload, &bins)?)
                     }));
+                    // Stamp the finish before the send: whoever observes the
+                    // result (and therefore "merged") sees it after this.
+                    if let Some(trace) = &trace {
+                        trace.record_shard("shard_finish", index, ctx.worker, ctx.stolen);
+                    }
                     let _ = result_tx.send((index, result));
                     if let Some(notify) = &notify {
                         notify();
@@ -1149,7 +1245,11 @@ impl Engine {
                 let seed = request.seed;
                 let cache = Arc::clone(&self.cache);
                 let solver_override = request.solver_override.clone();
-                Box::new(move || {
+                let trace = request.trace.clone();
+                Box::new(move |ctx: JobCtx| {
+                    if let Some(trace) = &trace {
+                        trace.record_shard("shard_start", index, ctx.worker, ctx.stolen);
+                    }
                     let result = guard_panics(AssertUnwindSafe(|| {
                         let cacheable = solver_override.is_none();
                         let solver: Arc<dyn PreparedSolver + Send + Sync> = match solver_override {
@@ -1188,6 +1288,9 @@ impl Engine {
                         };
                         Ok(solver.solve_with(artifacts.as_ref(), &workload, &bins)?)
                     }));
+                    if let Some(trace) = &trace {
+                        trace.record_shard("shard_finish", index, ctx.worker, ctx.stolen);
+                    }
                     let _ = result_tx.send((index, result));
                     if let Some(notify) = &notify {
                         notify();
@@ -1226,8 +1329,9 @@ fn worker_loop(sched: &Scheduler, worker: usize) {
     // else in a job closure must still not take the worker down: swallow
     // the unwind and move to the next job. `None` means the scheduler shut
     // down and every queued job has been claimed.
-    while let Some(job) = sched.next_job(worker) {
-        drop(catch_unwind(AssertUnwindSafe(job)));
+    while let Some((job, stolen)) = sched.next_job(worker) {
+        let ctx = JobCtx { worker, stolen };
+        drop(catch_unwind(AssertUnwindSafe(move || job(ctx))));
     }
 }
 

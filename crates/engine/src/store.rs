@@ -49,6 +49,7 @@
 use crate::service::ResolvedPlan;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Identifies one frontend session (connection) to the store. `0` is
@@ -131,6 +132,9 @@ struct Entry {
 #[derive(Default)]
 pub struct PlanStore {
     entries: Mutex<HashMap<String, Entry>>,
+    /// Operations rejected with [`StoreError::LeaseHeld`] — how often
+    /// sessions actually contend for the same plan id.
+    lease_conflicts: AtomicU64,
 }
 
 impl PlanStore {
@@ -145,6 +149,16 @@ impl PlanStore {
         self.entries
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Builds the [`StoreError::LeaseHeld`] rejection, counting it — every
+    /// lease conflict the store ever reports flows through here.
+    fn lease_held(&self, id: &str, owner: SessionId) -> StoreError {
+        self.lease_conflicts.fetch_add(1, Ordering::Relaxed);
+        StoreError::LeaseHeld {
+            id: id.to_string(),
+            owner,
+        }
     }
 
     /// Marks `id` as being produced by `session`'s in-flight solve, taking
@@ -169,10 +183,7 @@ impl PlanStore {
         }
         if let Some(owner) = entry.lease {
             if owner != session {
-                return Err(StoreError::LeaseHeld {
-                    id: id.to_string(),
-                    owner,
-                });
+                return Err(self.lease_held(id, owner));
             }
         }
         entry.lease = Some(session);
@@ -211,10 +222,7 @@ impl PlanStore {
         }
         if let Some(owner) = entry.lease {
             if owner != session {
-                return Err(StoreError::LeaseHeld {
-                    id: id.to_string(),
-                    owner,
-                });
+                return Err(self.lease_held(id, owner));
             }
         }
         let Some(plan) = entry.plan.clone() else {
@@ -280,10 +288,7 @@ impl PlanStore {
         }
         if let Some(owner) = entry.lease {
             if owner != session {
-                return Err(StoreError::LeaseHeld {
-                    id: id.to_string(),
-                    owner,
-                });
+                return Err(self.lease_held(id, owner));
             }
         }
         entry.lease = Some(session);
@@ -314,10 +319,7 @@ impl PlanStore {
         }
         if let Some(owner) = entry.lease {
             if owner != session {
-                return Err(StoreError::LeaseHeld {
-                    id: id.to_string(),
-                    owner,
-                });
+                return Err(self.lease_held(id, owner));
             }
         }
         entry.lease = None;
@@ -349,6 +351,12 @@ impl PlanStore {
     /// Ids currently leased by some session.
     pub fn leases(&self) -> usize {
         self.lock().values().filter(|e| e.lease.is_some()).count()
+    }
+
+    /// Operations rejected with [`StoreError::LeaseHeld`] since the store
+    /// was created — a monotone contention counter.
+    pub fn lease_conflicts(&self) -> u64 {
+        self.lease_conflicts.load(Ordering::Relaxed)
     }
 }
 

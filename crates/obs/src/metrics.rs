@@ -1,0 +1,455 @@
+//! Sharded atomic counters, gauges, and log-bucketed histograms.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Shards per metric. Each shard sits on its own cache line, so writers on
+/// different threads do not bounce one line between cores. A small fixed
+/// power of two: threads hash onto shards by a process-wide registration
+/// order, and 16 lines cover far more concurrency than the engine's pool.
+const SHARDS: usize = 16;
+
+/// Histogram bucket count. Bucket `i < BUCKETS-1` covers `[2^i, 2^(i+1))`
+/// (bucket 0 additionally absorbs the value 0); the final bucket is the
+/// overflow sink for everything at or above `2^(BUCKETS-1)` — about 9.2
+/// minutes when values are nanoseconds, far beyond any request deadline.
+pub const BUCKETS: usize = 40;
+
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's registration number; its metric shard is `number %
+    /// SHARDS`. Stable for the thread's lifetime, so a thread always hits
+    /// the same cache line.
+    static THREAD_TICKET: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+fn shard_index() -> usize {
+    THREAD_TICKET.with(|t| *t) % SHARDS
+}
+
+/// One atomic on its own cache line.
+#[derive(Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// A monotone event counter: relaxed sharded adds, summed on read.
+///
+/// Relaxed ordering is the point, not a shortcut: a concurrent reader may
+/// observe a sum that lags in-flight increments, but increments are never
+/// lost, and once writers quiesce the sum is exact.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n` — one relaxed `fetch_add` on this thread's shard.
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The sum across shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A point-in-time signed level (queue depth, live sessions). Gauges are
+/// read-mostly and never request-hot, so one atomic suffices.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// One histogram shard: a bucket array plus the running value sum.
+#[repr(align(64))]
+struct HistShard {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for HistShard {
+    fn default() -> Self {
+        HistShard {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-bucketed histogram with fixed power-of-two bucket edges; see
+/// [`BUCKETS`] for the edge layout. Values are plain `u64`s — the stack
+/// records latencies as nanoseconds.
+#[derive(Default)]
+pub struct Histogram {
+    shards: [HistShard; SHARDS],
+}
+
+/// The bucket a value lands in: `floor(log2(v))` clamped to the overflow
+/// bucket, with 0 in bucket 0.
+pub(crate) fn bucket_index(value: u64) -> usize {
+    let floor_log2 = (63 - (value | 1).leading_zeros()) as usize;
+    floor_log2.min(BUCKETS - 1)
+}
+
+/// The largest value bucket `i` holds (inclusive).
+fn bucket_upper(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one value — two relaxed `fetch_add`s on this thread's shard.
+    pub fn record(&self, value: u64) {
+        let shard = &self.shards[shard_index()];
+        shard.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Merges every shard into one immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::default();
+        for shard in &self.shards {
+            for (slot, count) in merged.counts.iter_mut().zip(&shard.counts) {
+                *slot += count.load(Ordering::Relaxed);
+            }
+            merged.sum = merged.sum.saturating_add(shard.sum.load(Ordering::Relaxed));
+        }
+        merged
+    }
+}
+
+/// A merged, immutable view of a [`Histogram`]. The total count is derived
+/// from the buckets (never tracked separately), so a snapshot can never
+/// disagree with its own bucket contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; see [`BUCKETS`] for the edges.
+    pub counts: [u64; BUCKETS],
+    /// Sum of every recorded value (saturating).
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: [0; BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total recorded values — the sum of the buckets.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Folds `other` into `self` element-wise. Merging is commutative and
+    /// associative (it is vector addition), so shards, threads, and
+    /// processes can be combined in any grouping.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (slot, count) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += count;
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, reported as the upper edge of
+    /// the bucket containing the rank-`⌈q·count⌉` sample — a deterministic
+    /// upper bound with log₂-bucket resolution. Returns 0 for an empty
+    /// snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// Mean recorded value, 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+}
+
+/// Locks a mutex, shrugging off poisoning: registry state is maps of
+/// `Arc`s, valid at every instruction boundary.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Named get-or-register access to counters, gauges, and histograms.
+///
+/// The registry's mutex guards only the name → handle maps: callers
+/// register once (at startup, typically) and keep the returned `Arc` for
+/// the hot path, so steady-state recording never touches the registry.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            lock(&self.counters)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            lock(&self.gauges)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            lock(&self.histograms)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// A point-in-time view of every registered metric, names sorted.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A [`Registry::snapshot`]: plain values, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// Counter sums by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Merged histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bucket_edges_are_exact_powers_of_two() {
+        // 0 and 1 share bucket 0; each boundary 2^i starts bucket i.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        for i in 1..BUCKETS - 1 {
+            let edge = 1u64 << i;
+            assert_eq!(bucket_index(edge - 1), i - 1, "below edge 2^{i}");
+            assert_eq!(bucket_index(edge), i, "at edge 2^{i}");
+            assert_eq!(bucket_index(edge + 1), i, "above edge 2^{i}");
+        }
+    }
+
+    #[test]
+    fn overflow_bucket_absorbs_everything_at_and_beyond_its_edge() {
+        let overflow_edge = 1u64 << (BUCKETS - 1);
+        assert_eq!(bucket_index(overflow_edge - 1), BUCKETS - 2);
+        for v in [overflow_edge, overflow_edge + 1, u64::MAX / 2, u64::MAX] {
+            assert_eq!(bucket_index(v), BUCKETS - 1, "value {v}");
+        }
+        let h = Histogram::new();
+        h.record(overflow_edge);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.counts[BUCKETS - 1], 2);
+        assert_eq!(snap.count(), 2);
+        // Both samples sit in the overflow bucket, whose upper edge is
+        // u64::MAX — so is every quantile.
+        assert_eq!(snap.quantile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative_and_commutative() {
+        let make = |values: &[u64]| {
+            let h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (make(&[1, 5, 900]), make(&[2, 2, 1 << 20]), make(&[0]));
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "(a+b)+c == a+(b+c)");
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba, "a+b == b+a");
+        assert_eq!(ab_c.count(), 7);
+    }
+
+    #[test]
+    fn quantiles_read_off_the_merged_buckets() {
+        let h = Histogram::new();
+        // 90 fast samples in [64, 128), 10 slow in [65536, 131072).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 100);
+        assert_eq!(snap.quantile(0.5), 127);
+        assert_eq!(snap.quantile(0.9), 127);
+        assert_eq!(snap.quantile(0.99), 131_071);
+        assert_eq!(snap.mean(), (90 * 100 + 10 * 100_000) / 100);
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_counts_and_snapshots_stay_consistent() {
+        const WRITERS: usize = 8;
+        const PER_WRITER: u64 = 10_000;
+        let counter = Arc::new(Counter::new());
+        let histogram = Arc::new(Histogram::new());
+
+        thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let counter = Arc::clone(&counter);
+                let histogram = Arc::clone(&histogram);
+                scope.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        counter.inc();
+                        histogram.record(w as u64 * 1000 + i % 7);
+                    }
+                });
+            }
+            // Mid-flight snapshots: totals are monotone non-decreasing and
+            // never exceed what has been written (nothing is invented).
+            let cap = WRITERS as u64 * PER_WRITER;
+            let mut last = 0;
+            for _ in 0..50 {
+                let seen = histogram.snapshot().count();
+                assert!(seen >= last, "snapshot count went backwards");
+                assert!(seen <= cap, "snapshot invented samples");
+                last = seen;
+            }
+        });
+
+        // Quiesced: both views are exact and agree with each other.
+        assert_eq!(counter.get(), WRITERS as u64 * PER_WRITER);
+        assert_eq!(histogram.snapshot().count(), WRITERS as u64 * PER_WRITER);
+    }
+
+    #[test]
+    fn registry_hands_out_stable_handles_and_sorted_snapshots() {
+        let registry = Registry::new();
+        let c1 = registry.counter("ops.solve");
+        let c2 = registry.counter("ops.solve");
+        assert!(Arc::ptr_eq(&c1, &c2), "same name, same counter");
+        c1.add(3);
+        registry.counter("ops.batch").inc();
+        registry.gauge("queue_depth").set(5);
+        registry.histogram("latency.solve").record(42);
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counters.keys().collect::<Vec<_>>(),
+            ["ops.batch", "ops.solve"]
+        );
+        assert_eq!(snap.counters["ops.solve"], 3);
+        assert_eq!(snap.gauges["queue_depth"], 5);
+        assert_eq!(snap.histograms["latency.solve"].count(), 1);
+    }
+}

@@ -58,6 +58,16 @@
 //!   requests and finish their current request, and [`Engine::shutdown`]
 //!   drains the worker pool deterministically.
 //!
+//! The server is **observable**: every request is counted on a sharded
+//! relaxed metric registry (`slade-obs`), per-verb end-to-end latency is
+//! histogrammed, and a client can opt any `solve`/`batch`/`resubmit` into
+//! end-to-end tracing with `"trace": true` — the response echoes a minted
+//! trace id and the `trace` verb returns the request's staged timeline
+//! (queued → admitted → dispatched → per-shard start/finish with worker
+//! and steal provenance → merged → written). The `metrics` verb exports a
+//! self-consistent JSON snapshot; see [`protocol`] and [`ObsOptions`] for
+//! the knobs (JSONL trace log, slow-request log, ring size).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -107,4 +117,4 @@ pub mod protocol;
 mod server;
 
 pub use client::Client;
-pub use server::{RequestMiddleware, Server, ServerConfig, ShutdownHandle};
+pub use server::{ObsOptions, RequestMiddleware, Server, ServerConfig, ShutdownHandle};

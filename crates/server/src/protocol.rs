@@ -12,7 +12,19 @@
 //! | `claim` | `id` (`seq` is rejected: leases move in line, at their position in the request stream) | ack; this session now holds the plan id's lease |
 //! | `release` | `id` (`seq` is rejected, as for `claim`) | ack; the plan id is unleased and claimable by any session |
 //! | `stats` | — (`seq` is rejected: stats answer in line, at their position in the request stream) | cache, per-op and per-algorithm counters |
+//! | `metrics` | — (`seq` is rejected, as for `stats`) | full observability snapshot: op counters, cache rates, engine/scheduler gauges, store contention, per-verb latency histogram quantiles |
+//! | `trace` | optional `limit` (`seq` is rejected, as for `stats`) | the newest completed request spans, oldest first |
 //! | `shutdown` | — (`seq` is rejected: shutdown first drains every tagged in-flight request, then acks) | ack; the server then drains and exits |
+//!
+//! ## Tracing (`trace: true`)
+//!
+//! A `solve`/`batch`/`resubmit` request may carry `"trace": true` to opt
+//! into end-to-end tracing: the server mints a trace id, records stage
+//! timestamps (queued, admitted, dispatched, per-shard start/finish with
+//! worker and steal provenance, merged, written) as the request moves
+//! through the stack, echoes the id back as a `trace` member on the
+//! response, and retains the completed span in a bounded ring readable via
+//! the `trace` verb. Tracing changes nothing about the plan bytes.
 //!
 //! ## Plan ids, leases, and `code`
 //!
@@ -60,8 +72,8 @@ use slade_engine::{EngineRequest, WorkloadDelta};
 use std::sync::Arc;
 
 /// The protocol verbs, for error messages and dispatch tables.
-pub const VERBS: [&str; 7] = [
-    "solve", "batch", "resubmit", "claim", "release", "stats", "shutdown",
+pub const VERBS: [&str; 9] = [
+    "solve", "batch", "resubmit", "claim", "release", "stats", "metrics", "trace", "shutdown",
 ];
 
 /// One parsed protocol request.
@@ -79,6 +91,8 @@ pub enum Request {
         /// Pipelining tag; `Some` makes this request non-blocking (see the
         /// module docs).
         seq: Option<Json>,
+        /// Whether the client opted into end-to-end tracing.
+        trace: bool,
     },
     /// Solve several instances concurrently, summaries in request order.
     Batch {
@@ -86,6 +100,8 @@ pub enum Request {
         requests: Vec<EngineRequest>,
         /// Pipelining tag; `Some` makes this request non-blocking.
         seq: Option<Json>,
+        /// Whether the client opted into end-to-end tracing.
+        trace: bool,
     },
     /// Re-solve a retained plan under a workload delta.
     Resubmit {
@@ -97,6 +113,8 @@ pub enum Request {
         want_plan: bool,
         /// Pipelining tag; `Some` makes this request non-blocking.
         seq: Option<Json>,
+        /// Whether the client opted into end-to-end tracing.
+        trace: bool,
     },
     /// Take the lease on a stored plan id for this session.
     Claim {
@@ -110,6 +128,14 @@ pub enum Request {
     },
     /// Report server counters.
     Stats,
+    /// Report the full observability snapshot (counters, gauges, latency
+    /// histogram quantiles).
+    Metrics,
+    /// Report the newest completed request spans, oldest first.
+    Trace {
+        /// Cap on the number of spans returned (the newest ones win).
+        limit: Option<usize>,
+    },
     /// Drain and stop the server.
     Shutdown,
 }
@@ -130,19 +156,21 @@ pub fn parse_request(line: &str, default_bins: &Arc<BinSet>) -> Result<Request, 
     };
     match op {
         "solve" => {
-            let request = parse_engine_request(&value, default_bins, &["op", "id", "plan", "seq"])?;
+            let request =
+                parse_engine_request(&value, default_bins, &["op", "id", "plan", "seq", "trace"])?;
             Ok(Request::Solve {
                 request,
                 id: optional_string(&value, "id")?,
                 want_plan: optional_bool(&value, "plan")?,
                 seq: optional_seq(&value)?,
+                trace: optional_bool(&value, "trace")?,
             })
         }
         "batch" => {
             for (key, _) in members {
-                if !matches!(key.as_str(), "op" | "requests" | "seq") {
+                if !matches!(key.as_str(), "op" | "requests" | "seq" | "trace") {
                     return Err(format!(
-                        "unknown field `{key}` for `batch` (expected op, requests, seq)"
+                        "unknown field `{key}` for `batch` (expected op, requests, seq, trace)"
                     ));
                 }
             }
@@ -161,13 +189,18 @@ pub fn parse_request(line: &str, default_bins: &Arc<BinSet>) -> Result<Request, 
             Ok(Request::Batch {
                 requests,
                 seq: optional_seq(&value)?,
+                trace: optional_bool(&value, "trace")?,
             })
         }
         "resubmit" => {
             for (key, _) in members {
-                if !matches!(key.as_str(), "op" | "id" | "delta" | "plan" | "seq") {
+                if !matches!(
+                    key.as_str(),
+                    "op" | "id" | "delta" | "plan" | "seq" | "trace"
+                ) {
                     return Err(format!(
-                        "unknown field `{key}` for `resubmit` (expected op, id, delta, plan, seq)"
+                        "unknown field `{key}` for `resubmit` \
+                         (expected op, id, delta, plan, seq, trace)"
                     ));
                 }
             }
@@ -179,6 +212,7 @@ pub fn parse_request(line: &str, default_bins: &Arc<BinSet>) -> Result<Request, 
                 delta: parse_delta(delta)?,
                 want_plan: optional_bool(&value, "plan")?,
                 seq: optional_seq(&value)?,
+                trace: optional_bool(&value, "trace")?,
             })
         }
         "claim" | "release" => {
@@ -199,17 +233,33 @@ pub fn parse_request(line: &str, default_bins: &Arc<BinSet>) -> Result<Request, 
                 Request::Release { id }
             })
         }
-        "stats" | "shutdown" => {
+        "stats" | "metrics" | "shutdown" => {
             for (key, _) in members {
                 if key != "op" {
                     return Err(format!("unknown field `{key}` for `{op}`"));
                 }
             }
-            Ok(if op == "stats" {
-                Request::Stats
-            } else {
-                Request::Shutdown
+            Ok(match op {
+                "stats" => Request::Stats,
+                "metrics" => Request::Metrics,
+                _ => Request::Shutdown,
             })
+        }
+        "trace" => {
+            // Like stats, trace reads answer in line, at their position in
+            // the request stream — `seq` is an unknown field here.
+            for (key, _) in members {
+                if !matches!(key.as_str(), "op" | "limit") {
+                    return Err(format!(
+                        "unknown field `{key}` for `trace` (expected op, limit)"
+                    ));
+                }
+            }
+            let limit = match value.get("limit") {
+                None => None,
+                Some(v) => Some(json_u32(v, "`limit`")? as usize),
+            };
+            Ok(Request::Trace { limit })
         }
         other => Err(format!(
             "unknown op `{other}`; expected one of: {}",
@@ -540,13 +590,14 @@ mod tests {
             id,
             want_plan,
             seq,
+            trace,
         } = parse_request("{}", &bins()).unwrap()
         else {
             panic!("expected a solve");
         };
         assert_eq!(request.algorithm, Algorithm::OpqBased);
         assert_eq!(request.workload.len(), 4);
-        assert!(id.is_none() && !want_plan && seq.is_none());
+        assert!(id.is_none() && !want_plan && seq.is_none() && !trace);
     }
 
     #[test]
@@ -557,6 +608,7 @@ mod tests {
             id,
             want_plan,
             seq,
+            ..
         } = parse_request(line, &bins()).unwrap()
         else {
             panic!("expected a solve");
@@ -582,7 +634,7 @@ mod tests {
         };
         assert_eq!(seq, Some(Json::string("alpha-1")));
 
-        let Request::Batch { seq, requests } =
+        let Request::Batch { seq, requests, .. } =
             parse_request(r#"{"op":"batch","requests":[{}],"seq":0}"#, &bins()).unwrap()
         else {
             panic!("expected a batch");
@@ -762,6 +814,63 @@ mod tests {
         for verb in VERBS {
             assert!(err.contains(verb), "missing {verb} in: {err}");
         }
+    }
+
+    #[test]
+    fn metrics_and_trace_verbs_parse_strictly() {
+        assert!(matches!(
+            parse_request(r#"{"op":"metrics"}"#, &bins()).unwrap(),
+            Request::Metrics
+        ));
+        let Request::Trace { limit } = parse_request(r#"{"op":"trace"}"#, &bins()).unwrap() else {
+            panic!("expected a trace");
+        };
+        assert_eq!(limit, None);
+        let Request::Trace { limit } =
+            parse_request(r#"{"op":"trace","limit":5}"#, &bins()).unwrap()
+        else {
+            panic!("expected a trace");
+        };
+        assert_eq!(limit, Some(5));
+
+        // Both answer in line, at their stream position: un-pipelinable.
+        for (line, needle) in [
+            (r#"{"op":"metrics","seq":1}"#, "unknown field `seq`"),
+            (r#"{"op":"trace","seq":1}"#, "unknown field `seq`"),
+            (r#"{"op":"metrics","x":1}"#, "unknown field `x`"),
+            (r#"{"op":"trace","limit":-1}"#, "non-negative integer"),
+            (r#"{"op":"trace","limit":1.5}"#, "non-negative integer"),
+        ] {
+            let err = parse_request(line, &bins()).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn trace_opt_in_parses_on_every_traceable_verb() {
+        let Request::Solve { trace, .. } =
+            parse_request(r#"{"tasks":4,"trace":true}"#, &bins()).unwrap()
+        else {
+            panic!("expected a solve");
+        };
+        assert!(trace);
+        let Request::Batch { trace, .. } =
+            parse_request(r#"{"op":"batch","requests":[{}],"trace":true}"#, &bins()).unwrap()
+        else {
+            panic!("expected a batch");
+        };
+        assert!(trace);
+        let line = r#"{"op":"resubmit","id":"w","delta":{"resize":9},"trace":false}"#;
+        let Request::Resubmit { trace, .. } = parse_request(line, &bins()).unwrap() else {
+            panic!("expected a resubmit");
+        };
+        assert!(!trace);
+        let err = parse_request(r#"{"tasks":4,"trace":1}"#, &bins()).unwrap_err();
+        assert!(err.contains("`trace` must be a boolean"), "{err}");
+        // Lease moves and stats stay untraceable — stream-position verbs
+        // have no engine lifecycle to trace.
+        let err = parse_request(r#"{"op":"claim","id":"w","trace":true}"#, &bins()).unwrap_err();
+        assert!(err.contains("unknown field `trace`"), "{err}");
     }
 
     #[test]

@@ -58,13 +58,16 @@ use slade_core::bin_set::BinSet;
 use slade_core::plan::DecompositionPlan;
 use slade_core::solver::Algorithm;
 use slade_engine::{
-    Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, PlanStore, ResolvedHandle,
-    ResolvedPlan, SessionId, ShardNotify, StoreError,
+    Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, PlanStore, RequestTrace,
+    ResolvedHandle, ResolvedPlan, SessionId, ShardNotify, StoreError,
 };
+use slade_obs::{Counter, Histogram, Registry, RequestSpan, SpanRecord, SpanRing};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
+use std::fs::{File, OpenOptions};
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -116,6 +119,41 @@ pub struct ServerConfig {
     pub max_inflight: usize,
     /// Optional per-request hook; see [`RequestMiddleware`].
     pub request_middleware: Option<RequestMiddleware>,
+    /// Observability knobs; see [`ObsOptions`].
+    pub obs: ObsOptions,
+}
+
+/// Observability configuration: latency histograms, request tracing, and
+/// their export surfaces. All of it is lock-cheap by construction (relaxed
+/// sharded counters, per-span mutexes around a timestamp-and-push) — the
+/// `enabled: false` switch exists for A/B overhead measurement, not because
+/// the instrumentation is expensive.
+#[derive(Debug, Clone)]
+pub struct ObsOptions {
+    /// Master switch for latency recording and request tracing. Off, the
+    /// server neither mints spans nor records histogram samples (the
+    /// `metrics` verb still answers, with zeroed latency sections).
+    pub enabled: bool,
+    /// When set, every completed traced span is appended to this file as
+    /// one JSON line (same shape as the `trace` verb's `spans` entries).
+    pub trace_log: Option<PathBuf>,
+    /// When set, any traced request slower than this many milliseconds
+    /// end-to-end is logged to stderr.
+    pub slow_ms: Option<u64>,
+    /// Completed traced spans retained for the `trace` verb (newest wins;
+    /// clamped to at least 1).
+    pub trace_ring: usize,
+}
+
+impl Default for ObsOptions {
+    fn default() -> Self {
+        ObsOptions {
+            enabled: true,
+            trace_log: None,
+            slow_ms: None,
+            trace_ring: 256,
+        }
+    }
 }
 
 impl fmt::Debug for ServerConfig {
@@ -129,6 +167,7 @@ impl fmt::Debug for ServerConfig {
                 "request_middleware",
                 &self.request_middleware.as_ref().map(|_| "<hook>"),
             )
+            .field("obs", &self.obs)
             .finish()
     }
 }
@@ -141,37 +180,162 @@ impl Default for ServerConfig {
             request_timeout: Duration::from_secs(60),
             max_inflight: 32,
             request_middleware: None,
+            obs: ObsOptions::default(),
         }
     }
 }
 
-/// Per-op and per-algorithm request counters, reported by the `stats` verb.
-#[derive(Debug, Default)]
+/// Per-op and per-algorithm request counters, reported by the `stats` and
+/// `metrics` verbs. Each is a sharded relaxed [`Counter`] living in the
+/// server's [`Registry`] (named `ops.<verb>` / `algorithms.<name>`), so the
+/// `metrics` snapshot and the `stats` response read the same cells.
 struct Counters {
-    solve: AtomicU64,
-    batch: AtomicU64,
-    resubmit: AtomicU64,
-    claim: AtomicU64,
-    release: AtomicU64,
-    stats: AtomicU64,
-    shutdown: AtomicU64,
+    solve: Arc<Counter>,
+    batch: Arc<Counter>,
+    resubmit: Arc<Counter>,
+    claim: Arc<Counter>,
+    release: Arc<Counter>,
+    stats: Arc<Counter>,
+    metrics: Arc<Counter>,
+    trace: Arc<Counter>,
+    shutdown: Arc<Counter>,
     /// Requests that arrived with a `seq` tag (also counted under their op).
-    pipelined: AtomicU64,
-    errors: AtomicU64,
-    algorithms: [AtomicU64; ALGORITHMS],
+    pipelined: Arc<Counter>,
+    /// Tagged requests the multiplexer answered with a deadline-expiry
+    /// timeout (also counted under their op, and under `errors` like every
+    /// error response).
+    timeouts: Arc<Counter>,
+    errors: Arc<Counter>,
+    algorithms: [Arc<Counter>; ALGORITHMS],
 }
 
 impl Counters {
+    fn new(registry: &Registry) -> Counters {
+        let op = |name: &str| registry.counter(&format!("ops.{name}"));
+        Counters {
+            solve: op("solve"),
+            batch: op("batch"),
+            resubmit: op("resubmit"),
+            claim: op("claim"),
+            release: op("release"),
+            stats: op("stats"),
+            metrics: op("metrics"),
+            trace: op("trace"),
+            shutdown: op("shutdown"),
+            pipelined: op("pipelined"),
+            timeouts: op("timeouts"),
+            errors: op("errors"),
+            algorithms: std::array::from_fn(|i| {
+                registry.counter(&format!("algorithms.{}", Algorithm::ALL[i].name()))
+            }),
+        }
+    }
+
     fn count_algorithm(&self, algorithm: Algorithm) {
         let index = Algorithm::ALL
             .iter()
             .position(|a| *a == algorithm)
             .expect("every algorithm is in the registry");
-        self.algorithms[index].fetch_add(1, Ordering::Relaxed);
+        self.algorithms[index].inc();
     }
 
     fn count_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
+    }
+}
+
+/// The verbs whose end-to-end latency is histogrammed, index-aligned with
+/// [`ServerObs::latency`]. `shutdown` is deliberately absent: its ack is
+/// written mid-drain while the server is stopping, so a sample would
+/// measure the drain, not the request.
+const LATENCY_VERBS: [&str; 8] = [
+    "solve", "batch", "resubmit", "claim", "release", "stats", "metrics", "trace",
+];
+
+/// The server's observability sink: the metric registry, per-verb latency
+/// histograms, the completed-span ring the `trace` verb reads, and the
+/// optional JSONL trace log / slow-request stderr log.
+struct ServerObs {
+    enabled: bool,
+    registry: Registry,
+    /// Completed traced spans, newest `capacity` retained.
+    ring: SpanRing,
+    /// Per-verb latency histograms, index-aligned with [`LATENCY_VERBS`].
+    latency: Vec<Arc<Histogram>>,
+    /// JSONL export of every completed traced span. The mutex is on the
+    /// trace-log file only — never on the request path; only the writer
+    /// thread (and the rare drain) takes it.
+    trace_log: Option<Mutex<File>>,
+    slow_ms: Option<u64>,
+    /// Trace id allocator; ids start at 1.
+    next_trace: AtomicU64,
+}
+
+impl ServerObs {
+    fn new(options: &ObsOptions, registry: Registry) -> io::Result<ServerObs> {
+        let latency = LATENCY_VERBS
+            .iter()
+            .map(|verb| registry.histogram(&format!("latency.{verb}")))
+            .collect();
+        let trace_log = match &options.trace_log {
+            None => None,
+            Some(path) => Some(Mutex::new(
+                OpenOptions::new().create(true).append(true).open(path)?,
+            )),
+        };
+        Ok(ServerObs {
+            enabled: options.enabled,
+            registry,
+            ring: SpanRing::new(options.trace_ring),
+            latency,
+            trace_log,
+            slow_ms: options.slow_ms,
+            next_trace: AtomicU64::new(1),
+        })
+    }
+
+    /// The latency histogram for `op`, when `op` is a [`LATENCY_VERBS`]
+    /// member.
+    fn latency_for(&self, op: &str) -> Option<&Arc<Histogram>> {
+        LATENCY_VERBS
+            .iter()
+            .position(|verb| *verb == op)
+            .map(|i| &self.latency[i])
+    }
+
+    /// Records one end-to-end latency sample for `op`. Every counted
+    /// request contributes exactly one sample on exactly one path (response
+    /// written, discarded on a dead connection, or dropped by an aborting
+    /// gate), so at quiescence `latency.<verb>.count == ops.<verb>`.
+    fn record_latency(&self, op: &str, started: Instant) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(histogram) = self.latency_for(op) {
+            histogram.record_duration(started.elapsed());
+        }
+    }
+
+    /// Sinks one completed span: slow-request stderr line, JSONL trace log,
+    /// then the ring. Called by the writer thread *before* the response
+    /// bytes reach the socket, so a client that has read its response is
+    /// guaranteed to find the span in a subsequent `trace` request.
+    fn sink_span(&self, record: &SpanRecord) {
+        if let Some(slow_ms) = self.slow_ms {
+            let total_ms = record.total_ns / 1_000_000;
+            if total_ms >= slow_ms {
+                eprintln!(
+                    "slade-server: slow request: op={} trace_id={} total_ms={} \
+                     stolen_shards={}",
+                    record.op, record.id, total_ms, record.stolen_shards
+                );
+            }
+        }
+        if let Some(log) = &self.trace_log {
+            let line = span_to_json(record);
+            let _ = writeln!(lock(log), "{line}");
+        }
+        self.ring.push(record.clone());
     }
 }
 
@@ -185,6 +349,7 @@ struct Shared {
     max_inflight: usize,
     middleware: Option<RequestMiddleware>,
     counters: Counters,
+    obs: ServerObs,
     /// Sessions currently connected.
     connections: AtomicUsize,
     /// Resolved plans retained server-wide, leased per session.
@@ -238,6 +403,9 @@ impl Server {
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let registry = Registry::new();
+        let counters = Counters::new(&registry);
+        let obs = ServerObs::new(&config.obs, registry)?;
         let shared = Arc::new(Shared {
             engine: Engine::new(config.engine),
             shutdown: AtomicBool::new(false),
@@ -245,7 +413,8 @@ impl Server {
             request_timeout: config.request_timeout,
             max_inflight: config.max_inflight.max(1),
             middleware: config.request_middleware,
-            counters: Counters::default(),
+            counters,
+            obs,
             connections: AtomicUsize::new(0),
             store: PlanStore::new(),
             next_session: AtomicU64::new(1),
@@ -397,7 +566,9 @@ enum PendingWork {
         /// `resubmit`, the optional retain id for `solve`).
         id: Option<String>,
         want_plan: bool,
-        handle: ResolvedHandle,
+        /// Boxed: a `ResolvedHandle` holds the whole resolved request and
+        /// would dwarf the `Batch` variant inline.
+        handle: Box<ResolvedHandle>,
     },
     /// A tagged `batch`: one engine handle per sub-request.
     Batch {
@@ -411,6 +582,11 @@ enum PendingWork {
 struct InFlight {
     seq: Json,
     seq_key: String,
+    /// When the reader pulled the request off the wire (latency samples
+    /// measure from here to the response write).
+    started: Instant,
+    /// The request's trace span, when the client opted in.
+    span: Option<RequestTrace>,
     deadline: Option<Instant>,
     /// The result of `Single` work once its handle delivered (a non-
     /// blocking `try_wait` hands its result out exactly once, so it is
@@ -451,9 +627,26 @@ struct Session<'a> {
     default_bins: Arc<BinSet>,
 }
 
+/// Completion metadata riding along with a response to the writer, which
+/// finalizes it (latency sample, span sink, trace-id echo) just before the
+/// bytes hit the socket.
+struct Done {
+    op: &'static str,
+    started: Instant,
+    span: Option<RequestTrace>,
+}
+
+/// One queued response line. `done: None` marks lines outside the request
+/// accounting (parse errors have no verb; the shutdown ack is excluded by
+/// design).
+struct Outgoing {
+    response: Json,
+    done: Option<Done>,
+}
+
 /// The reader's handles to the session's other two threads.
 struct SessionIo {
-    out: Sender<Json>,
+    out: Sender<Outgoing>,
     mux: Sender<MuxMsg>,
     /// Next multiplexer token; tokens order [`MuxMsg::Drain`]'s
     /// remaining-work drain deterministically (dispatch order).
@@ -462,7 +655,17 @@ struct SessionIo {
 
 impl SessionIo {
     fn respond(&self, response: Json) {
-        let _ = self.out.send(response);
+        let _ = self.out.send(Outgoing {
+            response,
+            done: None,
+        });
+    }
+
+    fn respond_done(&self, response: Json, done: Done) {
+        let _ = self.out.send(Outgoing {
+            response,
+            done: Some(done),
+        });
     }
 }
 
@@ -475,12 +678,13 @@ impl Session<'_> {
         let writer_stream = stream.try_clone()?;
         writer_stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
         let dead = AtomicBool::new(false);
-        let (out_tx, out_rx) = channel::<Json>();
+        let (out_tx, out_rx) = channel::<Outgoing>();
         let (mux_tx, mux_rx) = channel::<MuxMsg>();
 
         thread::scope(|scope| {
             let dead_ref = &dead;
-            let writer = scope.spawn(move || writer_loop(writer_stream, out_rx, dead_ref));
+            let obs = &self.shared.obs;
+            let writer = scope.spawn(move || writer_loop(writer_stream, out_rx, dead_ref, obs));
             let mux_out = out_tx.clone();
             let mux = scope.spawn(move || {
                 Mux {
@@ -568,8 +772,29 @@ impl Session<'_> {
         }
     }
 
+    /// Mints a trace span for one request, when the client opted in
+    /// (`"trace": true`) and tracing is enabled. The `queued` stage is
+    /// stamped immediately: the request has been read off the wire and is
+    /// about to contend for admission.
+    fn mint_span(
+        &self,
+        op: &'static str,
+        requested: bool,
+        seq: Option<&Json>,
+    ) -> Option<RequestTrace> {
+        let obs = &self.shared.obs;
+        if !(requested && obs.enabled) {
+            return None;
+        }
+        let id = obs.next_trace.fetch_add(1, Ordering::Relaxed);
+        let span = Arc::new(RequestSpan::new(id, op, seq.map(|s| s.to_string())));
+        span.record("queued");
+        Some(span)
+    }
+
     /// Serves one raw request line; `Some(exit)` ends the reader.
     fn serve_line(&self, raw: &[u8], io: &mut SessionIo, dead: &AtomicBool) -> Option<Exit> {
+        let started = Instant::now();
         let counters = &self.shared.counters;
         let Ok(text) = std::str::from_utf8(raw) else {
             counters.count_error();
@@ -600,13 +825,31 @@ impl Session<'_> {
                 id,
                 want_plan,
                 seq,
+                trace,
             }) => {
-                counters.solve.fetch_add(1, Ordering::Relaxed);
+                counters.solve.inc();
                 counters.count_algorithm(request.algorithm);
-                let request = self.shared.apply_middleware(request);
+                let span = self.mint_span("solve", trace, seq.as_ref());
+                let mut request = self.shared.apply_middleware(request);
+                if let Some(span) = &span {
+                    request = request.with_trace(Arc::clone(span));
+                }
                 match seq {
-                    None => io.respond(self.run_solve(request, id, want_plan)),
-                    Some(seq) => self.pipeline_solve(io, dead, request, id, want_plan, seq),
+                    None => {
+                        record_stage(&span, "admitted");
+                        let response = self.run_solve(request, id, want_plan, span.as_deref());
+                        io.respond_done(
+                            response,
+                            Done {
+                                op: "solve",
+                                started,
+                                span,
+                            },
+                        );
+                    }
+                    Some(seq) => {
+                        self.pipeline_solve(io, dead, request, id, want_plan, seq, started, span)
+                    }
                 }
             }
             Ok(Request::Resubmit {
@@ -614,41 +857,128 @@ impl Session<'_> {
                 delta,
                 want_plan,
                 seq,
+                trace,
             }) => {
-                counters.resubmit.fetch_add(1, Ordering::Relaxed);
+                counters.resubmit.inc();
+                let span = self.mint_span("resubmit", trace, seq.as_ref());
                 match seq {
-                    None => io.respond(self.run_resubmit(&id, &delta, want_plan)),
-                    Some(seq) => self.pipeline_resubmit(io, dead, id, &delta, want_plan, seq),
+                    None => {
+                        record_stage(&span, "admitted");
+                        let response = self.run_resubmit(&id, &delta, want_plan, span.as_ref());
+                        io.respond_done(
+                            response,
+                            Done {
+                                op: "resubmit",
+                                started,
+                                span,
+                            },
+                        );
+                    }
+                    Some(seq) => {
+                        self.pipeline_resubmit(io, dead, id, &delta, want_plan, seq, started, span)
+                    }
                 }
             }
-            Ok(Request::Batch { requests, seq }) => {
-                counters.batch.fetch_add(1, Ordering::Relaxed);
+            Ok(Request::Batch {
+                requests,
+                seq,
+                trace,
+            }) => {
+                counters.batch.inc();
                 for request in &requests {
                     counters.count_algorithm(request.algorithm);
                 }
+                let span = self.mint_span("batch", trace, seq.as_ref());
                 let requests: Vec<EngineRequest> = requests
                     .into_iter()
-                    .map(|r| self.shared.apply_middleware(r))
+                    .map(|r| {
+                        let r = self.shared.apply_middleware(r);
+                        match &span {
+                            // Sub-requests share the batch's span: their
+                            // shard stages interleave on one timeline.
+                            Some(span) => r.with_trace(Arc::clone(span)),
+                            None => r,
+                        }
+                    })
                     .collect();
                 match seq {
-                    None => io.respond(self.run_batch(requests)),
-                    Some(seq) => self.pipeline_batch(io, dead, requests, seq),
+                    None => {
+                        record_stage(&span, "admitted");
+                        let response = self.run_batch(requests, span.as_ref());
+                        io.respond_done(
+                            response,
+                            Done {
+                                op: "batch",
+                                started,
+                                span,
+                            },
+                        );
+                    }
+                    Some(seq) => self.pipeline_batch(io, dead, requests, seq, started, span),
                 }
             }
             Ok(Request::Claim { id }) => {
-                counters.claim.fetch_add(1, Ordering::Relaxed);
-                io.respond(self.run_lease_move("claim", &id));
+                counters.claim.inc();
+                let response = self.run_lease_move("claim", &id);
+                io.respond_done(
+                    response,
+                    Done {
+                        op: "claim",
+                        started,
+                        span: None,
+                    },
+                );
             }
             Ok(Request::Release { id }) => {
-                counters.release.fetch_add(1, Ordering::Relaxed);
-                io.respond(self.run_lease_move("release", &id));
+                counters.release.inc();
+                let response = self.run_lease_move("release", &id);
+                io.respond_done(
+                    response,
+                    Done {
+                        op: "release",
+                        started,
+                        span: None,
+                    },
+                );
             }
             Ok(Request::Stats) => {
-                counters.stats.fetch_add(1, Ordering::Relaxed);
-                io.respond(self.stats_response());
+                counters.stats.inc();
+                let response = self.stats_response();
+                io.respond_done(
+                    response,
+                    Done {
+                        op: "stats",
+                        started,
+                        span: None,
+                    },
+                );
+            }
+            Ok(Request::Metrics) => {
+                counters.metrics.inc();
+                let response = self.metrics_response();
+                io.respond_done(
+                    response,
+                    Done {
+                        op: "metrics",
+                        started,
+                        span: None,
+                    },
+                );
+            }
+            Ok(Request::Trace { limit }) => {
+                counters.trace.inc();
+                let response = self.trace_response(limit);
+                io.respond_done(
+                    response,
+                    Done {
+                        op: "trace",
+                        started,
+                        span: None,
+                    },
+                );
             }
             Ok(Request::Shutdown) => {
-                counters.shutdown.fetch_add(1, Ordering::Relaxed);
+                counters.shutdown.inc();
                 let ack = Json::Object(vec![
                     member("ok", Json::Bool(true)),
                     member("op", Json::string("shutdown")),
@@ -664,26 +994,47 @@ impl Session<'_> {
     /// Admits a tagged request through the in-flight gate, answering the
     /// duplicate case with a structured error. `None` means "drop the
     /// request" (dead/aborting session).
-    fn admit(&self, io: &SessionIo, dead: &AtomicBool, seq: &Json, seq_key: &str) -> Option<()> {
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &self,
+        io: &SessionIo,
+        dead: &AtomicBool,
+        seq: &Json,
+        seq_key: &str,
+        op: &'static str,
+        started: Instant,
+        span: &Option<RequestTrace>,
+    ) -> Option<()> {
         let abort = || dead.load(Ordering::SeqCst) || self.shared.shutdown.load(Ordering::SeqCst);
         match self.gate.acquire(seq_key, self.shared.max_inflight, abort) {
             Admission::Admitted => {
-                self.shared
-                    .counters
-                    .pipelined
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.counters.pipelined.inc();
+                record_stage(span, "admitted");
                 Some(())
             }
             Admission::Duplicate => {
                 self.shared.counters.count_error();
-                io.respond(protocol::error_response(
-                    None,
-                    Some(seq),
-                    &format!("seq {seq_key} is already in flight on this session"),
-                ));
+                io.respond_done(
+                    protocol::error_response(
+                        None,
+                        Some(seq),
+                        &format!("seq {seq_key} is already in flight on this session"),
+                    ),
+                    Done {
+                        op,
+                        started,
+                        span: span.clone(),
+                    },
+                );
                 None
             }
-            Admission::Aborted => None,
+            Admission::Aborted => {
+                // The request is dropped — no response will ever be
+                // written. Record its latency sample here so the books
+                // still balance (one sample per counted request).
+                self.shared.obs.record_latency(op, started);
+                None
+            }
         }
     }
 
@@ -696,12 +1047,23 @@ impl Session<'_> {
     }
 
     /// Hands a dispatched tagged request to the multiplexer.
-    fn register(&self, io: &mut SessionIo, seq: Json, seq_key: String, work: PendingWork) {
+    #[allow(clippy::too_many_arguments)]
+    fn register(
+        &self,
+        io: &mut SessionIo,
+        seq: Json,
+        seq_key: String,
+        started: Instant,
+        span: Option<RequestTrace>,
+        work: PendingWork,
+    ) {
         let token = io.next_token;
         io.next_token += 1;
         let entry = InFlight {
             seq,
             seq_key,
+            started,
+            span,
             deadline: Instant::now().checked_add(self.shared.request_timeout),
             ready: None,
             work,
@@ -712,6 +1074,7 @@ impl Session<'_> {
         });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn pipeline_solve(
         &self,
         io: &mut SessionIo,
@@ -720,9 +1083,14 @@ impl Session<'_> {
         id: Option<String>,
         want_plan: bool,
         seq: Json,
+        started: Instant,
+        span: Option<RequestTrace>,
     ) {
         let seq_key = seq.to_string();
-        if self.admit(io, dead, &seq, &seq_key).is_none() {
+        if self
+            .admit(io, dead, &seq, &seq_key, "solve", started, &span)
+            .is_none()
+        {
             return;
         }
         if let Some(id) = &id {
@@ -732,7 +1100,15 @@ impl Session<'_> {
                 .begin_produce(self.sid, id, Some(&seq_key))
             {
                 self.gate.release(&seq_key);
-                io.respond(self.store_error("solve", Some(&seq), &e));
+                let response = self.store_error("solve", Some(&seq), &e);
+                io.respond_done(
+                    response,
+                    Done {
+                        op: "solve",
+                        started,
+                        span,
+                    },
+                );
                 return;
             }
         }
@@ -742,11 +1118,14 @@ impl Session<'_> {
         // multiplexer performs at registration.
         let token = io.next_token;
         let notify = Self::notify_for(io, token);
-        let handle = self.shared.engine.submit_resolved_notify(request, notify);
+        record_stage(&span, "dispatched");
+        let handle = Box::new(self.shared.engine.submit_resolved_notify(request, notify));
         self.register(
             io,
             seq,
             seq_key,
+            started,
+            span,
             PendingWork::Single {
                 op: "solve",
                 id,
@@ -756,6 +1135,7 @@ impl Session<'_> {
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn pipeline_resubmit(
         &self,
         io: &mut SessionIo,
@@ -764,9 +1144,14 @@ impl Session<'_> {
         delta: &slade_engine::WorkloadDelta,
         want_plan: bool,
         seq: Json,
+        started: Instant,
+        span: Option<RequestTrace>,
     ) {
         let seq_key = seq.to_string();
-        if self.admit(io, dead, &seq, &seq_key).is_none() {
+        if self
+            .admit(io, dead, &seq, &seq_key, "resubmit", started, &span)
+            .is_none()
+        {
             return;
         }
         // This request becomes the id's producer: concurrent resubmits of
@@ -780,37 +1165,53 @@ impl Session<'_> {
             Ok(prior) => prior,
             Err(e) => {
                 self.gate.release(&seq_key);
-                io.respond(self.store_error("resubmit", Some(&seq), &e));
+                let response = self.store_error("resubmit", Some(&seq), &e);
+                io.respond_done(
+                    response,
+                    Done {
+                        op: "resubmit",
+                        started,
+                        span,
+                    },
+                );
                 return;
             }
         };
         self.shared.counters.count_algorithm(prior.algorithm());
         let token = io.next_token;
         let notify = Self::notify_for(io, token);
+        record_stage(&span, "dispatched");
         match self
             .shared
             .engine
-            .resubmit_submit_notify(&prior, delta, notify)
+            .resubmit_submit_traced(&prior, delta, Some(notify), span.clone())
         {
             Err(e) => {
                 self.shared.store.finish(self.sid, &id, None);
                 self.gate.release(&seq_key);
                 self.shared.counters.count_error();
-                io.respond(protocol::error_response(
-                    Some("resubmit"),
-                    Some(&seq),
-                    &e.to_string(),
-                ));
+                let response =
+                    protocol::error_response(Some("resubmit"), Some(&seq), &e.to_string());
+                io.respond_done(
+                    response,
+                    Done {
+                        op: "resubmit",
+                        started,
+                        span,
+                    },
+                );
             }
             Ok(handle) => self.register(
                 io,
                 seq,
                 seq_key,
+                started,
+                span,
                 PendingWork::Single {
                     op: "resubmit",
                     id: Some(id),
                     want_plan,
-                    handle,
+                    handle: Box::new(handle),
                 },
             ),
         }
@@ -822,13 +1223,19 @@ impl Session<'_> {
         dead: &AtomicBool,
         requests: Vec<EngineRequest>,
         seq: Json,
+        started: Instant,
+        span: Option<RequestTrace>,
     ) {
         let seq_key = seq.to_string();
-        if self.admit(io, dead, &seq, &seq_key).is_none() {
+        if self
+            .admit(io, dead, &seq, &seq_key, "batch", started, &span)
+            .is_none()
+        {
             return;
         }
         let token = io.next_token;
         let notify = Self::notify_for(io, token);
+        record_stage(&span, "dispatched");
         let handles: Vec<PlanHandle> = requests
             .iter()
             .map(|r| self.shared.engine.submit_notify(r.clone(), notify.clone()))
@@ -838,6 +1245,8 @@ impl Session<'_> {
             io,
             seq,
             seq_key,
+            started,
+            span,
             PendingWork::Batch {
                 requests,
                 handles,
@@ -848,7 +1257,13 @@ impl Session<'_> {
 
     // ---- untagged (strict request/response) execution -------------------
 
-    fn run_solve(&self, request: EngineRequest, id: Option<String>, want_plan: bool) -> Json {
+    fn run_solve(
+        &self,
+        request: EngineRequest,
+        id: Option<String>,
+        want_plan: bool,
+        span: Option<&RequestSpan>,
+    ) -> Json {
         if let Some(id) = &id {
             // An untagged producer marks the id pending too: this session
             // is blocked until the response, but *other* sessions race
@@ -856,6 +1271,9 @@ impl Session<'_> {
             if let Err(e) = self.shared.store.begin_produce(self.sid, id, None) {
                 return self.store_error("solve", None, &e);
             }
+        }
+        if let Some(span) = span {
+            span.record("dispatched");
         }
         let resolved = self
             .shared
@@ -869,6 +1287,9 @@ impl Session<'_> {
                 self.engine_error("solve", &e)
             }
             Ok(resolved) => {
+                if let Some(span) = span {
+                    span.record("merged");
+                }
                 let response =
                     resolved_response("solve", id.as_deref(), None, &resolved, want_plan);
                 if let Some(id) = id {
@@ -881,22 +1302,35 @@ impl Session<'_> {
         }
     }
 
-    fn run_resubmit(&self, id: &str, delta: &slade_engine::WorkloadDelta, want_plan: bool) -> Json {
+    fn run_resubmit(
+        &self,
+        id: &str,
+        delta: &slade_engine::WorkloadDelta,
+        want_plan: bool,
+        span: Option<&RequestTrace>,
+    ) -> Json {
         let prior = match self.shared.store.begin_resubmit(self.sid, id, None) {
             Ok(prior) => prior,
             Err(e) => return self.store_error("resubmit", None, &e),
         };
         self.shared.counters.count_algorithm(prior.algorithm());
-        match self
-            .shared
-            .engine
-            .resubmit_timeout(&prior, delta, self.shared.request_timeout)
-        {
+        if let Some(span) = span {
+            span.record("dispatched");
+        }
+        match self.shared.engine.resubmit_timeout_traced(
+            &prior,
+            delta,
+            self.shared.request_timeout,
+            span.cloned(),
+        ) {
             Err(e) => {
                 self.shared.store.finish(self.sid, id, None);
                 self.engine_error("resubmit", &e)
             }
             Ok(resolved) => {
+                if let Some(span) = span {
+                    span.record("merged");
+                }
                 let response = resolved_response("resubmit", Some(id), None, &resolved, want_plan);
                 // Chained resubmits build on the latest state of the id.
                 self.shared
@@ -954,10 +1388,13 @@ impl Session<'_> {
     /// stream: submit everything up front, collect in request order, and
     /// turn per-request failures into per-request error entries. The
     /// request timeout spans the whole batch.
-    fn run_batch(&self, requests: Vec<EngineRequest>) -> Json {
+    fn run_batch(&self, requests: Vec<EngineRequest>, span: Option<&RequestTrace>) -> Json {
         // Checked like every other wait path: a timeout too large for the
         // `Instant` domain means "no deadline", not an `Instant` overflow.
         let deadline = Instant::now().checked_add(self.shared.request_timeout);
+        if let Some(span) = span {
+            span.record("dispatched");
+        }
         let handles = self.shared.engine.submit_batch(requests.iter().cloned());
         let results: Vec<Result<DecompositionPlan, EngineError>> = handles
             .into_iter()
@@ -966,6 +1403,9 @@ impl Session<'_> {
                 None => handle.wait(),
             })
             .collect();
+        if let Some(span) = span {
+            span.record("merged");
+        }
         batch_response(self.shared, &requests, results, None)
     }
 
@@ -977,7 +1417,7 @@ impl Session<'_> {
     fn stats_response(&self) -> Json {
         let shared = self.shared;
         let cache = shared.engine.cache_stats();
-        let count = |c: &AtomicU64| Json::number(c.load(Ordering::Relaxed) as f64);
+        let count = |c: &Arc<Counter>| Json::number(c.get() as f64);
         Json::Object(vec![
             member("ok", Json::Bool(true)),
             member("op", Json::string("stats")),
@@ -1002,6 +1442,12 @@ impl Session<'_> {
                     member("shutdown", count(&shared.counters.shutdown)),
                     member("pipelined", count(&shared.counters.pipelined)),
                     member("errors", count(&shared.counters.errors)),
+                    // New members append after the original nine, so
+                    // clients reading the original fields see identical
+                    // bytes.
+                    member("metrics", count(&shared.counters.metrics)),
+                    member("trace", count(&shared.counters.trace)),
+                    member("timeouts", count(&shared.counters.timeouts)),
                 ]),
             ),
             member(
@@ -1023,8 +1469,178 @@ impl Session<'_> {
             member("steals", Json::number(shared.engine.steals() as f64)),
             member("threads", Json::number(shared.engine.threads() as f64)),
             member("max_inflight", Json::number(shared.max_inflight as f64)),
+            member(
+                "queue_depth",
+                Json::number(shared.engine.queue_depth() as f64),
+            ),
+            member(
+                "sessions",
+                Json::number((shared.next_session.load(Ordering::SeqCst) - 1) as f64),
+            ),
         ])
     }
+
+    /// The `metrics` verb: a self-consistent JSON snapshot of every
+    /// registered metric plus engine / store / session state. The op
+    /// counters come from the same registry snapshot as the histograms, so
+    /// at quiescence `latency.<verb>.count == ops.<verb>` for every verb in
+    /// [`LATENCY_VERBS`].
+    fn metrics_response(&self) -> Json {
+        let shared = self.shared;
+        let cache = shared.engine.cache_stats();
+        let snapshot = shared.obs.registry.snapshot();
+        let ops: Vec<(String, Json)> = snapshot
+            .counters
+            .iter()
+            .filter_map(|(name, value)| {
+                name.strip_prefix("ops.")
+                    .map(|verb| member(verb, Json::number(*value as f64)))
+            })
+            .collect();
+        let latency: Vec<(String, Json)> = LATENCY_VERBS
+            .iter()
+            .map(|verb| {
+                let snap = snapshot
+                    .histograms
+                    .get(&format!("latency.{verb}"))
+                    .cloned()
+                    .unwrap_or_default();
+                member(
+                    verb,
+                    Json::Object(vec![
+                        member("count", Json::number(snap.count() as f64)),
+                        member("p50_ns", Json::number(snap.quantile(0.50) as f64)),
+                        member("p90_ns", Json::number(snap.quantile(0.90) as f64)),
+                        member("p99_ns", Json::number(snap.quantile(0.99) as f64)),
+                        member("mean_ns", Json::number(snap.mean() as f64)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Object(vec![
+            member("ok", Json::Bool(true)),
+            member("op", Json::string("metrics")),
+            member("ops", Json::Object(ops)),
+            member(
+                "cache",
+                Json::Object(vec![
+                    member("hits", Json::number(cache.hits as f64)),
+                    member("misses", Json::number(cache.misses as f64)),
+                    member("hit_rate", Json::number(cache.hit_rate())),
+                ]),
+            ),
+            member(
+                "engine",
+                Json::Object(vec![
+                    member(
+                        "queue_depth",
+                        Json::number(shared.engine.queue_depth() as f64),
+                    ),
+                    member("steals", Json::number(shared.engine.steals() as f64)),
+                    member("parks", Json::number(shared.engine.parks() as f64)),
+                    member("wakes", Json::number(shared.engine.wakes() as f64)),
+                    member("threads", Json::number(shared.engine.threads() as f64)),
+                ]),
+            ),
+            member(
+                "store",
+                Json::Object(vec![
+                    member("plans", Json::number(shared.store.count() as f64)),
+                    member("leases", Json::number(shared.store.leases() as f64)),
+                    member(
+                        "lease_conflicts",
+                        Json::number(shared.store.lease_conflicts() as f64),
+                    ),
+                ]),
+            ),
+            member(
+                "sessions",
+                Json::Object(vec![
+                    member(
+                        "active",
+                        Json::number(shared.connections.load(Ordering::SeqCst) as f64),
+                    ),
+                    member(
+                        "opened",
+                        Json::number((shared.next_session.load(Ordering::SeqCst) - 1) as f64),
+                    ),
+                ]),
+            ),
+            member("latency", Json::Object(latency)),
+            member(
+                "traces",
+                Json::Object(vec![
+                    member("recorded", Json::number(shared.obs.ring.pushed() as f64)),
+                    member("capacity", Json::number(shared.obs.ring.capacity() as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    /// The `trace` verb: the retained completed spans, oldest first;
+    /// `limit` keeps only the newest N.
+    fn trace_response(&self, limit: Option<usize>) -> Json {
+        let mut spans = self.shared.obs.ring.snapshot();
+        if let Some(limit) = limit {
+            if spans.len() > limit {
+                spans.drain(..spans.len() - limit);
+            }
+        }
+        Json::Object(vec![
+            member("ok", Json::Bool(true)),
+            member("op", Json::string("trace")),
+            member(
+                "spans",
+                Json::Array(spans.iter().map(span_to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Stamps `stage` on a span, when there is one.
+fn record_stage(span: &Option<RequestTrace>, stage: &'static str) {
+    if let Some(span) = span {
+        span.record(stage);
+    }
+}
+
+/// Serializes one completed span — the shape shared by the `trace` verb's
+/// `spans` entries and the `--trace-log` JSONL lines.
+fn span_to_json(record: &SpanRecord) -> Json {
+    let mut members = vec![
+        member("id", Json::number(record.id as f64)),
+        member("op", Json::string(record.op)),
+    ];
+    if let Some(seq) = &record.seq {
+        members.push(member("seq", Json::string(seq)));
+    }
+    members.push(member("total_ns", Json::number(record.total_ns as f64)));
+    members.push(member(
+        "stolen_shards",
+        Json::number(record.stolen_shards as f64),
+    ));
+    let events: Vec<Json> = record
+        .events
+        .iter()
+        .map(|event| {
+            let mut fields = vec![
+                member("stage", Json::string(event.stage)),
+                member("at_ns", Json::number(event.at_ns as f64)),
+            ];
+            if let Some(shard) = event.shard {
+                fields.push(member("shard", Json::number(shard as f64)));
+            }
+            if let Some(worker) = event.worker {
+                fields.push(member("worker", Json::number(worker as f64)));
+            }
+            if let Some(stolen) = event.stolen {
+                fields.push(member("stolen", Json::Bool(stolen)));
+            }
+            Json::Object(fields)
+        })
+        .collect();
+    members.push(member("events", Json::Array(events)));
+    Json::Object(members)
 }
 
 /// Assembles a solve/resubmit success response from a resolved plan; the
@@ -1131,8 +1747,33 @@ fn wait_out<T>(
 /// The writer half: serializes every queued response onto the socket. On a
 /// write failure (stalled or gone client) it flags the connection dead and
 /// keeps draining the channel, so producers never block on a dead peer.
-fn writer_loop(mut stream: TcpStream, responses: Receiver<Json>, dead: &AtomicBool) {
-    for response in responses {
+///
+/// The writer is also where requests are *finalized*: a traced span gets
+/// its `written` stage, is snapshotted, and is sunk (ring / trace log /
+/// slow log) — and the latency sample is recorded — strictly before the
+/// response bytes reach the socket. A client that has read its response
+/// can therefore always retrieve its span with a `trace` request, and the
+/// trace id is echoed on the response itself. Finalization happens even on
+/// a dead connection (only the write is skipped), so the books balance no
+/// matter how the session ends.
+fn writer_loop(
+    mut stream: TcpStream,
+    responses: Receiver<Outgoing>,
+    dead: &AtomicBool,
+    obs: &ServerObs,
+) {
+    for Outgoing { mut response, done } in responses {
+        if let Some(done) = done {
+            if let Some(span) = &done.span {
+                span.record("written");
+                let record = span.finish();
+                if let Json::Object(members) = &mut response {
+                    members.push(member("trace", Json::number(record.id as f64)));
+                }
+                obs.sink_span(&record);
+            }
+            obs.record_latency(done.op, done.started);
+        }
         if dead.load(Ordering::SeqCst) {
             continue;
         }
@@ -1149,7 +1790,7 @@ fn writer_loop(mut stream: TcpStream, responses: Receiver<Json>, dead: &AtomicBo
 /// session. See the module docs for the protocol it implements.
 struct Mux<'a, 'b> {
     session: &'a Session<'b>,
-    out: Sender<Json>,
+    out: Sender<Outgoing>,
     /// In-flight entries by dispatch token (a `BTreeMap` so the final
     /// drain answers remaining work in dispatch order, deterministically).
     inflight: BTreeMap<u64, InFlight>,
@@ -1170,7 +1811,12 @@ impl Mux<'_, '_> {
                 Ok(MuxMsg::Drain { ack, discard }) => {
                     self.drain(discard);
                     if let Some(ack) = ack {
-                        let _ = self.out.send(ack);
+                        // The shutdown ack is deliberately outside the
+                        // latency accounting (see [`LATENCY_VERBS`]).
+                        let _ = self.out.send(Outgoing {
+                            response: ack,
+                            done: None,
+                        });
                     }
                     return;
                 }
@@ -1256,22 +1902,40 @@ impl Mux<'_, '_> {
                     self.session.shared.store.finish(self.session.sid, id, None);
                 }
                 self.session.gate.release(&entry.seq_key);
+                // No response will ever be written; record the latency
+                // sample directly so every counted request still has
+                // exactly one.
+                let op = match &entry.work {
+                    PendingWork::Single { op, .. } => op,
+                    PendingWork::Batch { .. } => "batch",
+                };
+                self.session.shared.obs.record_latency(op, entry.started);
                 continue;
             }
             let deadline = entry.deadline;
             let timeout = self.session.shared.request_timeout;
             match &mut entry.work {
                 PendingWork::Single { handle, .. } => {
-                    entry.ready = Some(wait_out(|| handle.try_wait(), deadline, timeout));
+                    let result = wait_out(|| handle.try_wait(), deadline, timeout);
+                    if matches!(result, Err(EngineError::Timeout { .. })) {
+                        self.session.shared.counters.timeouts.inc();
+                    }
+                    entry.ready = Some(result);
                     self.finish(entry, None);
                 }
                 PendingWork::Batch {
                     handles, results, ..
                 } => {
+                    let mut timed_out = false;
                     for (handle, slot) in handles.iter_mut().zip(results.iter_mut()) {
                         if slot.is_none() {
-                            *slot = Some(wait_out(|| handle.try_wait(), deadline, timeout));
+                            let result = wait_out(|| handle.try_wait(), deadline, timeout);
+                            timed_out |= matches!(result, Err(EngineError::Timeout { .. }));
+                            *slot = Some(result);
                         }
+                    }
+                    if timed_out {
+                        self.session.shared.counters.timeouts.inc();
                     }
                     self.finish(entry, None);
                 }
@@ -1286,10 +1950,25 @@ impl Mux<'_, '_> {
         let InFlight {
             seq,
             seq_key,
+            started,
+            span,
             ready,
             work,
             ..
         } = entry;
+        let op: &'static str = match &work {
+            PendingWork::Single { op, .. } => op,
+            PendingWork::Batch { .. } => "batch",
+        };
+        if fill.is_some() {
+            // `fill` arrives exactly from deadline expiry: this request is
+            // being answered with a timeout substituted for its missing
+            // results.
+            shared.counters.timeouts.inc();
+            record_stage(&span, "expired");
+        } else {
+            record_stage(&span, "merged");
+        }
         let response = match work {
             PendingWork::Single {
                 op, id, want_plan, ..
@@ -1338,6 +2017,9 @@ impl Mux<'_, '_> {
             }
         };
         self.session.gate.release(&seq_key);
-        let _ = self.out.send(response);
+        let _ = self.out.send(Outgoing {
+            response,
+            done: Some(Done { op, started, span }),
+        });
     }
 }

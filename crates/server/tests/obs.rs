@@ -1,0 +1,288 @@
+//! End-to-end observability tests over a real loopback socket:
+//!
+//! 1. the `metrics` snapshot is **self-consistent** after a
+//!    multi-connection soak — for every latency-tracked verb, the
+//!    histogram's derived count equals the verb's op counter (the one
+//!    structural exception: the reporting `metrics` request itself is
+//!    still in flight when the snapshot is taken, so its own histogram
+//!    trails its op counter by exactly one);
+//! 2. a traced, pipelined request's span comes back over the `trace` verb
+//!    with monotone stage timestamps, the full queued → … → written
+//!    lifecycle, per-shard worker/steal provenance, and a `stolen_shards`
+//!    count that agrees with the engine's `steals` counter delta.
+
+use slade_engine::EngineConfig;
+use slade_server::json::Json;
+use slade_server::{Client, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+/// How long any single test step may block before the test fails.
+const STEP: Duration = Duration::from_secs(20);
+
+fn start_server(engine: EngineConfig) -> (SocketAddr, mpsc::Receiver<std::io::Result<()>>) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine,
+        request_timeout: STEP,
+        ..ServerConfig::default()
+    })
+    .expect("binding an ephemeral loopback port");
+    let addr = server.local_addr();
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let _ = tx.send(server.run());
+    });
+    (addr, rx)
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    let client = Client::connect(addr).expect("connecting to the test server");
+    client.set_read_timeout(Some(STEP)).unwrap();
+    client
+}
+
+fn parse(response: &str) -> Json {
+    slade_server::json::parse(response).expect("responses are valid JSON")
+}
+
+fn field_f64(value: &Json, key: &str) -> f64 {
+    value
+        .get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric `{key}` in {value}"))
+}
+
+#[test]
+fn metrics_snapshot_is_self_consistent_after_a_multi_connection_soak() {
+    let (addr, done) = start_server(EngineConfig {
+        threads: 3,
+        cache_capacity: 16,
+        ..EngineConfig::default()
+    });
+
+    // Four concurrent connections, each mixing untagged, tagged, and
+    // traced requests, plus store traffic and read-only verbs — every
+    // response is consumed, so each client quiesces before it exits.
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            thread::spawn(move || {
+                let mut client = connect(addr);
+                for i in 0..3 {
+                    let line = format!("{{\"tasks\":{},\"threshold\":0.9}}", 2 + i);
+                    client.roundtrip(&line).expect("untagged solve");
+                }
+                // A traced solve retained under a per-connection plan id,
+                // then an (also traced) resubmit against it.
+                let id = format!("plan-{c}");
+                client
+                    .roundtrip(&format!(
+                        "{{\"op\":\"solve\",\"id\":\"{id}\",\"tasks\":4,\"trace\":true}}"
+                    ))
+                    .expect("traced solve");
+                client
+                    .roundtrip(&format!(
+                        "{{\"op\":\"resubmit\",\"id\":\"{id}\",\"delta\":{{\"resize\":8}},\"trace\":true}}"
+                    ))
+                    .expect("traced resubmit");
+                // Pipelined window (tagged solves answered out of line).
+                let lines: Vec<String> = (1..=4)
+                    .map(|n| format!("{{\"tasks\":{n},\"threshold\":0.85}}"))
+                    .collect();
+                client.pipeline(&lines, 4).expect("pipelined solves");
+                // Read-only verbs and a deliberate error (unknown plan id).
+                client.roundtrip("{\"op\":\"stats\"}").expect("stats");
+                client.roundtrip("{\"op\":\"trace\"}").expect("trace");
+                client
+                    .roundtrip("{\"op\":\"claim\",\"id\":\"nope\"}")
+                    .expect("claim error response");
+                let batch = "{\"op\":\"batch\",\"requests\":[{\"tasks\":2},{\"tasks\":3}]}";
+                client.roundtrip(batch).expect("batch");
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    let mut client = connect(addr);
+    // Session teardown is asynchronous (a reader notices EOF on its poll),
+    // so wait until the four soak sessions have counted themselves out
+    // before pinning the snapshot. Polling is safe for the consistency
+    // check below: each poll's sample is recorded before its response is
+    // read, so the metrics off-by-one stays exactly one.
+    let deadline = std::time::Instant::now() + STEP;
+    let metrics = loop {
+        let metrics = parse(&client.roundtrip("{\"op\":\"metrics\"}").unwrap());
+        let sessions = metrics.get("sessions").expect("sessions section");
+        if field_f64(sessions, "active") == 1.0 {
+            break metrics;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "soak sessions never drained: {metrics}"
+        );
+        thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(metrics.get("ok"), Some(&Json::Bool(true)), "{metrics}");
+    let ops = metrics.get("ops").expect("metrics carries ops");
+    let latency = metrics.get("latency").expect("metrics carries latency");
+
+    // The soak is quiescent: every earlier response was read by its
+    // client, and the writer records the latency sample *before* the
+    // response bytes go out — so every counted request has its histogram
+    // sample. The `metrics` verb reporting this snapshot is the one
+    // structural exception: its own sample lands only when its response
+    // is written, after the snapshot.
+    for verb in [
+        "solve", "batch", "resubmit", "claim", "release", "stats", "metrics", "trace",
+    ] {
+        let counted = field_f64(ops, verb);
+        let sampled = field_f64(latency.get(verb).expect(verb), "count");
+        let expected = if verb == "metrics" {
+            counted - 1.0
+        } else {
+            counted
+        };
+        assert_eq!(
+            sampled, expected,
+            "latency.{verb}.count vs ops.{verb} in {metrics}"
+        );
+    }
+    assert_eq!(
+        field_f64(ops, "solve"),
+        4.0 * (3.0 + 1.0 + 4.0),
+        "{metrics}"
+    );
+    assert_eq!(
+        field_f64(ops, "timeouts"),
+        0.0,
+        "nothing expired: {metrics}"
+    );
+    assert_eq!(field_f64(ops, "errors"), 4.0, "one claim error per client");
+
+    // Engine/store/session/trace sections are present and sane.
+    let engine = metrics.get("engine").expect("engine section");
+    assert_eq!(field_f64(engine, "threads"), 3.0);
+    assert!(field_f64(engine, "parks") >= 1.0, "idle workers park");
+    let store = metrics.get("store").expect("store section");
+    assert_eq!(
+        field_f64(store, "plans"),
+        4.0,
+        "one retained plan per client"
+    );
+    let sessions = metrics.get("sessions").expect("sessions section");
+    assert_eq!(field_f64(sessions, "opened"), 5.0);
+    let traces = metrics.get("traces").expect("traces section");
+    assert_eq!(field_f64(traces, "recorded"), 8.0, "two traced per client");
+
+    // Latency quantiles come off real samples: p50 ≤ p99 and both > 0
+    // for a verb that did work.
+    let solve = latency.get("solve").unwrap();
+    assert!(field_f64(solve, "p50_ns") > 0.0, "{metrics}");
+    assert!(field_f64(solve, "p50_ns") <= field_f64(solve, "p99_ns"));
+
+    client.roundtrip("{\"op\":\"shutdown\"}").unwrap();
+    done.recv_timeout(STEP)
+        .expect("server must shut down")
+        .expect("clean exit");
+}
+
+#[test]
+fn traced_pipelined_request_reports_its_full_lifecycle_and_steal_provenance() {
+    // 64 homogeneous tasks shard into 8 jobs on 2 workers: every job is
+    // submitted from the session reader, so workers must pull — and
+    // frequently steal — to run them.
+    let (addr, done) = start_server(EngineConfig {
+        threads: 2,
+        homogeneous_shard: Some(8),
+        cache_capacity: 16,
+        ..EngineConfig::default()
+    });
+    let mut client = connect(addr);
+
+    let stats_before = parse(&client.roundtrip("{\"op\":\"stats\"}").unwrap());
+    let steals_before = field_f64(&stats_before, "steals");
+
+    let response = parse(
+        &client
+            .roundtrip("{\"op\":\"solve\",\"tasks\":64,\"threshold\":0.9,\"seq\":7,\"trace\":true}")
+            .unwrap(),
+    );
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response}");
+    assert_eq!(field_f64(&response, "seq"), 7.0, "tag echoed");
+    let trace_id = field_f64(&response, "trace");
+    assert!(trace_id >= 1.0, "a minted trace id is echoed: {response}");
+
+    let stats_after = parse(&client.roundtrip("{\"op\":\"stats\"}").unwrap());
+    let steal_delta = field_f64(&stats_after, "steals") - steals_before;
+
+    // The client has read the solve response, so its span is already in
+    // the ring (the writer sinks the span before writing the response).
+    let traces = parse(&client.roundtrip("{\"op\":\"trace\",\"limit\":1}").unwrap());
+    let spans = traces
+        .get("spans")
+        .and_then(Json::as_array)
+        .expect("trace returns spans");
+    assert_eq!(spans.len(), 1, "{traces}");
+    let span = &spans[0];
+    assert_eq!(field_f64(span, "id"), trace_id);
+    assert_eq!(span.get("op").and_then(Json::as_str), Some("solve"));
+    assert_eq!(span.get("seq").and_then(Json::as_str), Some("7"));
+
+    let events = span.get("events").and_then(Json::as_array).unwrap();
+    let stages: Vec<&str> = events
+        .iter()
+        .map(|e| e.get("stage").and_then(Json::as_str).unwrap())
+        .collect();
+    // Lifecycle order: the plain stages appear exactly once, in order,
+    // with the 8 shard start/finish pairs in between.
+    for stage in ["queued", "admitted", "dispatched", "merged", "written"] {
+        assert_eq!(
+            stages.iter().filter(|s| **s == stage).count(),
+            1,
+            "stage {stage} in {stages:?}"
+        );
+    }
+    let position = |stage: &str| stages.iter().position(|s| *s == stage).unwrap();
+    assert!(position("queued") < position("admitted"));
+    assert!(position("admitted") < position("dispatched"));
+    assert!(position("dispatched") < position("merged"));
+    assert!(position("merged") < position("written"));
+    assert_eq!(*stages.last().unwrap(), "written");
+    assert_eq!(stages.iter().filter(|s| **s == "shard_start").count(), 8);
+    assert_eq!(stages.iter().filter(|s| **s == "shard_finish").count(), 8);
+
+    // Timestamps are monotone across all threads that stamped them.
+    let at_ns: Vec<f64> = events.iter().map(|e| field_f64(e, "at_ns")).collect();
+    assert!(
+        at_ns.windows(2).all(|w| w[0] <= w[1]),
+        "stage timestamps must be monotone: {at_ns:?}"
+    );
+
+    // Every shard stage carries provenance, and the span's stolen count
+    // agrees with both its own events and the engine's steal counter
+    // delta (this request was the only work in the pool).
+    let stolen_starts = events
+        .iter()
+        .filter(|e| {
+            e.get("stage").and_then(Json::as_str) == Some("shard_start")
+                && e.get("stolen") == Some(&Json::Bool(true))
+        })
+        .count() as f64;
+    for event in events
+        .iter()
+        .filter(|e| e.get("stage").and_then(Json::as_str) == Some("shard_start"))
+    {
+        assert!(event.get("shard").is_some() && event.get("worker").is_some());
+    }
+    assert_eq!(field_f64(span, "stolen_shards"), stolen_starts, "{span}");
+    assert_eq!(steal_delta, stolen_starts, "span vs engine steal counter");
+
+    client.roundtrip("{\"op\":\"shutdown\"}").unwrap();
+    done.recv_timeout(STEP)
+        .expect("server must shut down")
+        .expect("clean exit");
+}

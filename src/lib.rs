@@ -9,6 +9,8 @@
 //!   calibrate task-bin parameters and execute decomposition plans.
 //! * [`engine`] — the concurrent, caching decomposition service layer
 //!   (worker pool, artifact cache, batched/sharded requests).
+//! * [`obs`] — the lock-cheap observability substrate: sharded atomic
+//!   metrics, log-bucketed latency histograms, request spans.
 //! * [`server`] — the TCP network frontend over the engine: line-delimited
 //!   JSON protocol, stateful resubmit sessions, graceful shutdown.
 //!
@@ -18,6 +20,7 @@ pub use slade_core as core;
 pub use slade_crowd as crowd;
 pub use slade_engine as engine;
 pub use slade_lp as lp;
+pub use slade_obs as obs;
 pub use slade_server as server;
 
 pub use slade_core::prelude;
