@@ -126,6 +126,13 @@ pub mod report {
     //! speedup — and [`write_json`] lands it in `BENCH_engine.json` /
     //! `BENCH_core.json` at the workspace root (hand-rolled JSON: the
     //! offline workspace has no serde).
+    //!
+    //! The format is also the repo's **perf-regression gate**:
+    //! [`bench_check`] (driven by the `bench-check` binary in CI) re-parses
+    //! a freshly produced trajectory file, compares it against the
+    //! committed baseline, and fails gated scenarios that regressed beyond
+    //! a tolerance — preferring `speedup` ratios, which survive the
+    //! baseline and the CI runner being different machines.
 
     use std::io::{self, Write};
 
@@ -210,23 +217,168 @@ pub mod report {
         out
     }
 
-    /// Writes records to `path` and notes the location on stdout. Relative
-    /// paths are resolved against the *workspace* root (cargo runs bench
-    /// binaries with the package directory as CWD, but CI collects the
-    /// trajectory files from the checkout root).
-    pub fn write_json(path: &str, records: &[BenchRecord]) -> io::Result<()> {
-        let resolved = if std::path::Path::new(path).is_absolute() {
+    /// Resolves a trajectory-file path the way [`write_json`] does:
+    /// absolute paths stand, relative ones anchor at the workspace root.
+    pub fn resolve_path(path: &str) -> std::path::PathBuf {
+        if std::path::Path::new(path).is_absolute() {
             std::path::PathBuf::from(path)
         } else {
             // crates/bench/../.. == the workspace root of this checkout.
             std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
                 .join("../..")
                 .join(path)
-        };
+        }
+    }
+
+    /// Writes records to `path` and notes the location on stdout. Relative
+    /// paths are resolved against the *workspace* root (cargo runs bench
+    /// binaries with the package directory as CWD, but CI collects the
+    /// trajectory files from the checkout root).
+    pub fn write_json(path: &str, records: &[BenchRecord]) -> io::Result<()> {
+        let resolved = resolve_path(path);
         let mut file = std::fs::File::create(&resolved)?;
         file.write_all(to_json(records).as_bytes())?;
         println!("wrote {} records to {}", records.len(), resolved.display());
         Ok(())
+    }
+
+    /// Parses a `BENCH_*.json` trajectory file back into records — the
+    /// inverse of [`to_json`], via the workspace's own JSON dialect.
+    pub fn parse_records(text: &str) -> Result<Vec<BenchRecord>, String> {
+        use slade_server::json::Json;
+        let json = slade_server::json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+        let array = json.as_array().ok_or("trajectory file is not an array")?;
+        array
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| {
+                let field = |key: &str| {
+                    entry
+                        .get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("record {i}: missing numeric `{key}`"))
+                };
+                Ok(BenchRecord {
+                    name: entry
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or(format!("record {i}: missing `name`"))?
+                        .to_string(),
+                    n: field("n")? as u64,
+                    median_ns: field("median_ns")?,
+                    throughput: field("throughput")?,
+                    speedup: entry.get("speedup").and_then(Json::as_f64),
+                })
+            })
+            .collect()
+    }
+
+    /// One gated scenario that fell below the allowed envelope.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Regression {
+        /// The record's stable case label.
+        pub name: String,
+        /// Which metric was compared: `"speedup"` or `"throughput"`.
+        pub metric: &'static str,
+        /// The committed baseline value of that metric.
+        pub baseline: f64,
+        /// The freshly measured value.
+        pub fresh: f64,
+        /// Relative change in percent (negative = slower).
+        pub change_pct: f64,
+    }
+
+    /// The outcome of one [`bench_check`] comparison.
+    #[derive(Debug, Clone, Default)]
+    pub struct CheckReport {
+        /// Human-oriented comparison lines, one per gated scenario.
+        pub lines: Vec<String>,
+        /// Gated scenarios that regressed beyond the tolerance.
+        pub regressions: Vec<Regression>,
+        /// Gated names present in only one of the two files (a renamed or
+        /// newly added scenario is not a regression, but it is reported so
+        /// a silently dropped gate cannot pass unnoticed).
+        pub unmatched: Vec<String>,
+    }
+
+    /// The trajectory gate: compares fresh records against the committed
+    /// baseline and reports every **gated** scenario that regressed by more
+    /// than `max_regression_pct` percent.
+    ///
+    /// A scenario is gated when its name starts with any of the `gates`
+    /// prefixes (every record is gated when `gates` is empty). Records
+    /// carrying a `speedup` in *both* files are compared on that ratio —
+    /// ratios of two medians from the same run survive a hardware change
+    /// between the baseline machine and the CI runner, absolute throughput
+    /// does not — and fall back to `throughput` otherwise. Names that are
+    /// duplicated within a file are skipped as unmatched (the comparison
+    /// would be ambiguous).
+    pub fn bench_check(
+        baseline: &[BenchRecord],
+        fresh: &[BenchRecord],
+        max_regression_pct: f64,
+        gates: &[String],
+    ) -> CheckReport {
+        let gated = |name: &str| {
+            gates.is_empty() || gates.iter().any(|prefix| name.starts_with(prefix.as_str()))
+        };
+        fn unique_index(records: &[BenchRecord]) -> std::collections::BTreeMap<&str, Vec<usize>> {
+            let mut by_name: std::collections::BTreeMap<&str, Vec<usize>> = Default::default();
+            for (i, r) in records.iter().enumerate() {
+                by_name.entry(r.name.as_str()).or_default().push(i);
+            }
+            by_name
+        }
+        let base_names = unique_index(baseline);
+        let fresh_names = unique_index(fresh);
+
+        let mut report = CheckReport::default();
+        for (name, fresh_indices) in &fresh_names {
+            if !gated(name) {
+                continue;
+            }
+            let (one_fresh, one_base) = match (
+                fresh_indices.as_slice(),
+                base_names.get(name).map(Vec::as_slice),
+            ) {
+                ([f], Some([b])) => (&fresh[*f], &baseline[*b]),
+                _ => {
+                    report.unmatched.push((*name).to_string());
+                    continue;
+                }
+            };
+            let (metric, base_value, fresh_value) = match (one_base.speedup, one_fresh.speedup) {
+                (Some(b), Some(f)) => ("speedup", b, f),
+                _ => ("throughput", one_base.throughput, one_fresh.throughput),
+            };
+            if base_value <= 0.0 {
+                report.unmatched.push((*name).to_string());
+                continue;
+            }
+            let change_pct = (fresh_value / base_value - 1.0) * 100.0;
+            let verdict = if change_pct < -max_regression_pct {
+                report.regressions.push(Regression {
+                    name: (*name).to_string(),
+                    metric,
+                    baseline: base_value,
+                    fresh: fresh_value,
+                    change_pct,
+                });
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            report.lines.push(format!(
+                "{name:<44} {metric:<10} {base_value:>10.3} -> {fresh_value:>10.3}  \
+                 {change_pct:>+7.1}%  {verdict}"
+            ));
+        }
+        for name in base_names.keys() {
+            if gated(name) && !fresh_names.contains_key(name) {
+                report.unmatched.push((*name).to_string());
+            }
+        }
+        report
     }
 }
 
@@ -400,5 +552,56 @@ mod tests {
         // Well-formed enough for the repo's own JSON parser shape: starts
         // and ends as a bracketed array.
         assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn bench_records_round_trip_through_parse() {
+        use super::report::{parse_records, to_json, BenchRecord};
+        let records = vec![
+            BenchRecord::per_item("server/contention/sharded/c4", 4, 2_000.0).with_speedup(1.25),
+            BenchRecord::per_item("server/solve/cold", 12, 950_000.0),
+        ];
+        let parsed = parse_records(&to_json(&records)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "server/contention/sharded/c4");
+        assert_eq!(parsed[0].speedup, Some(1.25));
+        assert_eq!(parsed[1].speedup, None);
+        assert!((parsed[1].median_ns - 950_000.0).abs() < 0.5);
+        assert!(parse_records("{\"not\": \"an array\"}").is_err());
+        assert!(parse_records("[{\"name\": \"x\"}]").is_err(), "missing n");
+    }
+
+    #[test]
+    fn bench_check_gates_on_ratio_and_reports_unmatched() {
+        use super::report::{bench_check, BenchRecord};
+        let baseline = vec![
+            BenchRecord::per_item("server/contention/sharded/c4", 4, 100.0).with_speedup(2.0),
+            // Throughput-only record: compared on throughput when gated.
+            BenchRecord::per_item("server/solve/cold", 12, 100.0),
+            BenchRecord::per_item("server/gone", 1, 100.0),
+        ];
+        let mut fresh = baseline.clone();
+        fresh.retain(|r| r.name != "server/gone");
+        // 40% speedup drop, but throughput unchanged: only the ratio gate
+        // trips, and a hardware-speed doubling (halved medians) would not.
+        fresh[0].speedup = Some(1.2);
+
+        let gates = vec!["server/".to_string()];
+        let report = bench_check(&baseline, &fresh, 10.0, &gates);
+        assert_eq!(report.regressions.len(), 1, "{report:?}");
+        assert_eq!(report.regressions[0].name, "server/contention/sharded/c4");
+        assert_eq!(report.regressions[0].metric, "speedup");
+        assert!(report.regressions[0].change_pct < -39.0);
+        assert_eq!(report.unmatched, vec!["server/gone".to_string()]);
+        assert_eq!(report.lines.len(), 2, "{report:?}");
+
+        // Ungated prefix: nothing compared.
+        let none = bench_check(&baseline, &fresh, 10.0, &["engine/".to_string()]);
+        assert!(none.lines.is_empty() && none.regressions.is_empty());
+
+        // Within tolerance passes.
+        fresh[0].speedup = Some(1.9);
+        let ok = bench_check(&baseline, &fresh, 10.0, &gates);
+        assert!(ok.regressions.is_empty(), "{ok:?}");
     }
 }

@@ -7,7 +7,7 @@
 //! slade-cli batch    [--threads N] [--cache N]   (JSONL requests on stdin)
 //! slade-cli serve    [--addr HOST:PORT] [--threads N] [--cache N]
 //!                    [--max-inflight N] [--scheduler MODE]
-//!                    [--trace-log FILE] [--slow-ms N]
+//!                    [--cache-impl IMPL] [--trace-log FILE] [--slow-ms N]
 //! slade-cli client   --connect HOST:PORT [--pipeline N]
 //!                                                 (JSONL requests on stdin)
 //! slade-cli algorithms
@@ -76,6 +76,10 @@ OPTIONS (serve):
     --scheduler MODE        Engine worker scheduler: work-steal (per-worker
                             deques with stealing) or shared-queue (one
                             FIFO, for A/B comparison) [default: work-steal]
+    --cache-impl IMPL       Artifact-cache implementation: sharded (lock-free
+                            warm hits, single-flight misses) or mutex-lru
+                            (one exact-LRU mutex, for A/B comparison)
+                            [default: sharded]
     --trace-log FILE        Append every completed traced span (requests
                             sent with \"trace\":true) to FILE as JSON lines
     --slow-ms N             Log any traced request slower than N ms
@@ -300,6 +304,7 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
     let mut timeout_secs: u64 = 60;
     let mut max_inflight = ServerConfig::default().max_inflight;
     let mut scheduler = defaults.scheduler;
+    let mut cache_impl = defaults.cache_impl;
     let mut obs = slade_server::ObsOptions::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -334,6 +339,11 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
                     .parse()
                     .map_err(|e: String| CliError::Usage(format!("--scheduler: {e}")))?;
             }
+            "--cache-impl" => {
+                cache_impl = value("--cache-impl")?
+                    .parse()
+                    .map_err(|e: String| CliError::Usage(format!("--cache-impl: {e}")))?;
+            }
             "--trace-log" => {
                 obs.trace_log = Some(std::path::PathBuf::from(value("--trace-log")?));
             }
@@ -353,6 +363,7 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
             threads,
             cache_capacity: cache,
             scheduler,
+            cache_impl,
             ..EngineConfig::default()
         },
         request_timeout: Duration::from_secs(timeout_secs),
@@ -987,6 +998,8 @@ mod tests {
             "serve --max-inflight 0",
             "serve --scheduler bogus",
             "serve --scheduler",
+            "serve --cache-impl bogus",
+            "serve --cache-impl",
             "serve --addr",
             "serve --trace-log",
             "serve --slow-ms",

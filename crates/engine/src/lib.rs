@@ -23,9 +23,13 @@
 //!   large homogeneous requests into fixed-size chunks, each an independent
 //!   job; sub-plans are merged in shard order, so the result is a function
 //!   of the request alone, never of thread count or scheduling;
-//! * **an algorithm-agnostic artifact cache** ([`ArtifactCache`]) — one LRU
-//!   keyed by `(Algorithm, `[`Fingerprint`]`)` over type-erased
-//!   [`slade_core::solver::SolveArtifacts`]. Every worker routes every
+//! * **an algorithm-agnostic artifact cache** ([`ArtifactCache`]) — a
+//!   sharded concurrent table keyed by `(Algorithm, `[`Fingerprint`]`)`
+//!   over type-erased [`slade_core::solver::SolveArtifacts`], whose warm
+//!   hits take no process-global lock (shard-local `RwLock` read + relaxed
+//!   atomics), with approximate-LRU eviction off the hot path and
+//!   single-flight cold misses; the original mutex LRU stays selectable as
+//!   [`CacheImpl::MutexLru`] for A/B runs. Every worker routes every
 //!   shard through the core's two-phase
 //!   [`PreparedSolver`](slade_core::solver::PreparedSolver) pipeline
 //!   (`prepare` once per fingerprint, `solve_with` per workload), so
@@ -99,7 +103,7 @@ mod sched;
 mod service;
 mod store;
 
-pub use cache::{ArtifactCache, CacheKey, CacheStats};
+pub use cache::{ArtifactCache, CacheImpl, CacheKey, CacheStats, CACHE_SHARDS};
 pub use sched::SchedulerMode;
 pub use service::{
     Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, RequestTrace, ResolvedHandle,

@@ -1,7 +1,7 @@
 //! The engine: a work-stealing worker pool, request sharding, blocking
 //! handles, and incremental workload deltas.
 
-use crate::cache::{ArtifactCache, CacheKey, CacheStats};
+use crate::cache::{ArtifactCache, CacheImpl, CacheKey, CacheStats};
 use crate::sched::{Job, JobCtx, Scheduler, SchedulerMode};
 use slade_core::baseline::{Baseline, BaselineConfig};
 use slade_core::bin_set::BinSet;
@@ -38,6 +38,11 @@ pub struct EngineConfig {
     pub scheduler: SchedulerMode,
     /// [`ArtifactCache`] capacity in entries; `0` disables caching.
     pub cache_capacity: usize,
+    /// Which [`ArtifactCache`] implementation the engine runs. The default,
+    /// [`CacheImpl::Sharded`], serves warm hits without any process-global
+    /// lock; [`CacheImpl::MutexLru`] is the original single-mutex exact
+    /// LRU, kept for A/B comparison. Plans are byte-identical under either.
+    pub cache_impl: CacheImpl,
     /// When set, homogeneous OPQ requests of at least twice this many tasks
     /// are split into independent chunks of roughly this size, solved in
     /// parallel, and merged. Chunking is decided by the request alone (never
@@ -61,6 +66,7 @@ impl Default for EngineConfig {
             queue_capacity: 256,
             scheduler: SchedulerMode::default(),
             cache_capacity: 64,
+            cache_impl: CacheImpl::default(),
             homogeneous_shard: None,
             solver: OpqBased::default(),
         }
@@ -716,7 +722,10 @@ impl Engine {
                     .expect("spawning an engine worker thread")
             })
             .collect();
-        let cache = Arc::new(ArtifactCache::new(config.cache_capacity));
+        let cache = Arc::new(ArtifactCache::with_impl(
+            config.cache_impl,
+            config.cache_capacity,
+        ));
         Engine {
             sched,
             workers: Mutex::new(workers),
@@ -776,8 +785,16 @@ impl Engine {
     }
 
     /// Snapshot of the artifact cache's hit/miss/occupancy counters.
+    /// Reads only relaxed atomics — never contends with the solve path.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Resident cache entries per shard (one element under
+    /// [`CacheImpl::MutexLru`]). Diagnostic, for the `metrics` surface;
+    /// takes each shard's read lock briefly.
+    pub fn cache_shard_occupancy(&self) -> Vec<usize> {
+        self.cache.shard_occupancy()
     }
 
     /// Submits one request, returning a blocking [`PlanHandle`].

@@ -1488,6 +1488,23 @@ impl Session<'_> {
     fn metrics_response(&self) -> Json {
         let shared = self.shared;
         let cache = shared.engine.cache_stats();
+        let shard_occupancy = shared.engine.cache_shard_occupancy();
+        // Mirror the cache counters into the registry before snapshotting,
+        // so registry consumers (and this very snapshot) see the same
+        // numbers the `cache` member reports.
+        let registry = &shared.obs.registry;
+        registry.gauge("cache.entries").set(cache.entries as i64);
+        registry
+            .gauge("cache.evictions")
+            .set(cache.evictions as i64);
+        registry
+            .gauge("cache.singleflight_waits")
+            .set(cache.singleflight_waits as i64);
+        for (i, occupancy) in shard_occupancy.iter().enumerate() {
+            registry
+                .gauge(&format!("cache.shard.{i}.entries"))
+                .set(*occupancy as i64);
+        }
         let snapshot = shared.obs.registry.snapshot();
         let ops: Vec<(String, Json)> = snapshot
             .counters
@@ -1527,6 +1544,27 @@ impl Session<'_> {
                     member("hits", Json::number(cache.hits as f64)),
                     member("misses", Json::number(cache.misses as f64)),
                     member("hit_rate", Json::number(cache.hit_rate())),
+                    // Fields below append after the original three, so
+                    // clients reading the original fields see identical
+                    // bytes (same rule as the stats `ops` object).
+                    member("entries", Json::number(cache.entries as f64)),
+                    member("capacity", Json::number(cache.capacity as f64)),
+                    member("impl", Json::string(cache.cache_impl.name())),
+                    member("evictions", Json::number(cache.evictions as f64)),
+                    member(
+                        "singleflight_waits",
+                        Json::number(cache.singleflight_waits as f64),
+                    ),
+                    member("shards", Json::number(shard_occupancy.len() as f64)),
+                    member(
+                        "shard_occupancy",
+                        Json::Array(
+                            shard_occupancy
+                                .iter()
+                                .map(|&occupancy| Json::number(occupancy as f64))
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
             member(

@@ -163,6 +163,28 @@ fn metrics_snapshot_is_self_consistent_after_a_multi_connection_soak() {
     );
     assert_eq!(field_f64(ops, "errors"), 4.0, "one claim error per client");
 
+    // The cache section carries the sharded-cache fields, consistent with
+    // each other: occupancy sums over the per-shard array, and the registry
+    // gauges the verb mirrors agree with the section.
+    let cache = metrics.get("cache").expect("cache section");
+    assert_eq!(
+        cache.get("impl").and_then(Json::as_str),
+        Some("sharded"),
+        "{metrics}"
+    );
+    assert_eq!(field_f64(cache, "capacity"), 16.0, "{metrics}");
+    let per_shard = cache
+        .get("shard_occupancy")
+        .and_then(Json::as_array)
+        .expect("per-shard occupancy array");
+    assert_eq!(per_shard.len() as f64, field_f64(cache, "shards"));
+    let occupancy_sum: f64 = per_shard.iter().filter_map(Json::as_f64).sum();
+    assert_eq!(occupancy_sum, field_f64(cache, "entries"), "{metrics}");
+    assert!(
+        field_f64(cache, "hits") > 0.0,
+        "repeated (bins, θ) pairs must hit: {metrics}"
+    );
+
     // Engine/store/session/trace sections are present and sane.
     let engine = metrics.get("engine").expect("engine section");
     assert_eq!(field_f64(engine, "threads"), 3.0);
