@@ -52,12 +52,19 @@ fn start_server(cache: usize) -> (Server, std::net::SocketAddr) {
 }
 
 fn start_server_obs(cache: usize, obs_enabled: bool) -> (Server, std::net::SocketAddr) {
-    start_server_impl(cache, obs_enabled, CacheImpl::default())
+    start_server_impl(
+        cache,
+        ObsOptions {
+            enabled: obs_enabled,
+            ..ObsOptions::default()
+        },
+        CacheImpl::default(),
+    )
 }
 
 fn start_server_impl(
     cache: usize,
-    obs_enabled: bool,
+    obs: ObsOptions,
     cache_impl: CacheImpl,
 ) -> (Server, std::net::SocketAddr) {
     let server = Server::bind(ServerConfig {
@@ -68,10 +75,7 @@ fn start_server_impl(
             ..EngineConfig::default()
         },
         request_timeout: Duration::from_secs(600),
-        obs: ObsOptions {
-            enabled: obs_enabled,
-            ..ObsOptions::default()
-        },
+        obs,
         ..ServerConfig::default()
     })
     .expect("binding a loopback port");
@@ -165,7 +169,28 @@ fn bench_pipelined_obs(
     window: usize,
     obs_enabled: bool,
 ) -> f64 {
-    let (server, addr) = start_server_obs(cache, obs_enabled);
+    bench_pipelined_opts(
+        cache,
+        warm,
+        lines,
+        window,
+        ObsOptions {
+            enabled: obs_enabled,
+            ..ObsOptions::default()
+        },
+    )
+}
+
+/// The pipelined scenario with arbitrary [`ObsOptions`] — the shared body
+/// behind the obs on/off and window on/off A/B pairs.
+fn bench_pipelined_opts(
+    cache: usize,
+    warm: bool,
+    lines: &[String],
+    window: usize,
+    obs: ObsOptions,
+) -> f64 {
+    let (server, addr) = start_server_impl(cache, obs, CacheImpl::default());
     let shutdown = server.shutdown_handle();
     let running = std::thread::spawn(move || server.run());
 
@@ -262,7 +287,7 @@ fn bench_contention_pair(connections: usize, lines: &[String]) -> (f64, f64) {
     let mut shutdowns = Vec::new();
     let mut running = Vec::new();
     for cache_impl in impls {
-        let (server, addr) = start_server_impl(64, true, cache_impl);
+        let (server, addr) = start_server_impl(64, ObsOptions::default(), cache_impl);
         shutdowns.push(server.shutdown_handle());
         running.push(std::thread::spawn(move || server.run()));
         addrs.push(addr);
@@ -342,6 +367,27 @@ fn main() {
          (obs off; obs-on/off throughput ratio {:.3})",
         pipelined / pipelined_obs_off
     );
+    // The window A/B: the same steady-state pipelined scenario with obs on
+    // but the sliding window disabled (`window: Duration::ZERO`). The record
+    // path is bit-identical either way — windowing only adds reader-driven
+    // work on `metrics`/`health` — so this pair must hold at parity (the
+    // acceptance bar is ≤ 3%, gated in CI via the window-on record's
+    // speedup, which is on/off and drops if windowing ever regresses).
+    let window_off = bench_pipelined_opts(
+        64,
+        true,
+        &lines,
+        PIPELINE_WINDOW,
+        ObsOptions {
+            window: Duration::ZERO,
+            ..ObsOptions::default()
+        },
+    );
+    println!(
+        "server/solve/pipelined-window-off {window_off:>4.0} req/s \
+         (window off; window-on/off throughput ratio {:.3})",
+        pipelined / window_off
+    );
 
     let mut records = vec![
         record("server/solve/cold", n, cold),
@@ -352,6 +398,15 @@ fn main() {
         record("server/solve/pipelined", n, pipelined).with_speedup(pipelined / cold),
         record("server/solve/pipelined-obs-off", n, pipelined_obs_off)
             .with_speedup(pipelined_obs_off / pipelined),
+        // Both sides of the window A/B land as records: `-window-off`
+        // mirrors the obs-off convention (speedup = off/on), while
+        // `-window-on` carries the on/off ratio — the number that DROPS if
+        // sliding-window accounting slows the hot path, so it is the one
+        // the CI gate holds (≤ 3% regression).
+        record("server/solve/pipelined-window-off", n, window_off)
+            .with_speedup(window_off / pipelined),
+        record("server/solve/pipelined-window-on", n, pipelined)
+            .with_speedup(pipelined / window_off),
     ];
 
     // The cache-contention A/B: N warm pipelined connections under each

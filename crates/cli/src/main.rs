@@ -10,6 +10,7 @@
 //!                    [--cache-impl IMPL] [--trace-log FILE] [--slow-ms N]
 //! slade-cli client   --connect HOST:PORT [--pipeline N]
 //!                                                 (JSONL requests on stdin)
+//! slade-cli top      --connect HOST:PORT [--interval-ms N] [--iterations N]
 //! slade-cli algorithms
 //! ```
 //!
@@ -43,6 +44,7 @@ COMMANDS:
     batch        Solve a stream of JSONL requests from stdin concurrently
     serve        Run the decomposition server (line-delimited JSON over TCP)
     client       Send JSONL requests from stdin to a running server
+    top          Live one-screen ops dashboard for a running server
     algorithms   List available algorithms
 
 OPTIONS (solve, simulate):
@@ -84,6 +86,10 @@ OPTIONS (serve):
                             sent with \"trace\":true) to FILE as JSON lines
     --slow-ms N             Log any traced request slower than N ms
                             end-to-end to stderr
+    --metrics-addr HOST:PORT
+                            Also serve Prometheus text metrics over HTTP
+                            GET /metrics on this address; port 0 picks an
+                            ephemeral port [default: off]
 
 OPTIONS (client):
     --connect HOST:PORT     Server to talk to (required). Requests are read
@@ -95,6 +101,15 @@ OPTIONS (client):
                             connection (tagging them with `seq`); responses
                             still print in request order. stats/shutdown
                             lines act as barriers. [default: off]
+
+OPTIONS (top):
+    --connect HOST:PORT     Server to watch (required). Polls the `metrics`
+                            and `health` verbs and repaints a one-screen
+                            dashboard: status, windowed req/s and latency
+                            quantiles per verb, queue/cache/session signals.
+    --interval-ms N         Refresh interval in milliseconds [default: 2000]
+    --iterations N          Stop after N frames; 0 runs until interrupted
+                            (or the server goes away) [default: 0]
 
 Each batch request is one JSON object per line; all fields optional:
     {\"algorithm\": \"opq-extended\", \"tasks\": 1000, \"threshold\": 0.95,
@@ -180,6 +195,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
             parse_client_options(&args[1..])?;
             run_client(&args[1..], &read_stdin()?)
         }
+        "top" => run_top(&args[1..]),
         "simulate" => {
             let opts = parse_options(&args[1..])?;
             let plan = solve(&opts)?;
@@ -290,6 +306,9 @@ fn run_serve(args: &[String], announce: &dyn Fn(SocketAddr)) -> Result<String, C
     let server =
         Server::bind(config).map_err(|e| CliError::Solve(format!("binding {addr}: {e}")))?;
     announce(server.local_addr());
+    if let Some(metrics) = server.metrics_local_addr() {
+        eprintln!("slade-server metrics on http://{metrics}/metrics");
+    }
     server
         .run()
         .map_err(|e| CliError::Solve(format!("server error: {e}")))?;
@@ -306,6 +325,7 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
     let mut scheduler = defaults.scheduler;
     let mut cache_impl = defaults.cache_impl;
     let mut obs = slade_server::ObsOptions::default();
+    let mut metrics_addr: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -350,6 +370,7 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
             "--slow-ms" => {
                 obs.slow_ms = Some(parse_num::<u64>(&value("--slow-ms")?, "--slow-ms")?);
             }
+            "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown flag `{other}` for `serve`"
@@ -369,6 +390,7 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
         request_timeout: Duration::from_secs(timeout_secs),
         max_inflight,
         obs,
+        metrics_addr,
         ..ServerConfig::default()
     })
 }
@@ -436,6 +458,165 @@ fn run_client(args: &[String], input: &str) -> Result<String, CliError> {
         }
     };
     Ok(responses.join("\n"))
+}
+
+fn parse_top_options(args: &[String]) -> Result<(String, Duration, u64), CliError> {
+    let mut connect: Option<String> = None;
+    let mut interval = Duration::from_millis(2000);
+    let mut iterations: u64 = 0;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--connect" => connect = Some(value("--connect")?),
+            "--interval-ms" => {
+                let ms: u64 = parse_num(&value("--interval-ms")?, "--interval-ms")?;
+                if ms == 0 {
+                    return Err(CliError::Usage("--interval-ms must be at least 1".into()));
+                }
+                interval = Duration::from_millis(ms);
+            }
+            "--iterations" => {
+                iterations = parse_num(&value("--iterations")?, "--iterations")?;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag `{other}` for `top`"))),
+        }
+    }
+    let connect =
+        connect.ok_or_else(|| CliError::Usage("`top` needs --connect HOST:PORT".into()))?;
+    Ok((connect, interval, iterations))
+}
+
+/// Runs the `top` subcommand: poll the `metrics` and `health` verbs on one
+/// connection and repaint a one-screen dashboard every interval. With
+/// `--iterations N` the loop stops after N frames and the final frame is
+/// returned (so `--iterations 1` is a scriptable point-in-time snapshot);
+/// the default runs until interrupted or the server goes away.
+fn run_top(args: &[String]) -> Result<String, CliError> {
+    let (addr, interval, iterations) = parse_top_options(args)?;
+    let mut client = Client::connect(&addr)
+        .map_err(|e| CliError::Solve(format!("connecting to {addr}: {e}")))?;
+    let mut frames: u64 = 0;
+    loop {
+        let mut poll = |line: &str| -> Result<Json, CliError> {
+            let response = client
+                .roundtrip(line)
+                .map_err(|e| CliError::Solve(format!("talking to {addr}: {e}")))?;
+            slade_server::json::parse(&response)
+                .map_err(|e| CliError::Solve(format!("unparseable response from {addr}: {e}")))
+        };
+        let metrics = poll(r#"{"op":"metrics"}"#)?;
+        let health = poll(r#"{"op":"health"}"#)?;
+        let frame = render_top(&addr, &metrics, &health);
+        frames += 1;
+        if iterations != 0 && frames >= iterations {
+            return Ok(frame);
+        }
+        // Live repaint: clear the screen, home the cursor, draw. The final
+        // frame is printed by `main` when the loop ever ends.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(interval);
+    }
+}
+
+/// Renders one `top` frame from a `metrics` and a `health` response.
+/// Missing members render as zeros/dashes rather than erroring, so a newer
+/// CLI degrades gracefully against an older server.
+fn render_top(addr: &str, metrics: &Json, health: &Json) -> String {
+    let num = |root: &Json, path: &[&str]| -> f64 {
+        let mut node = root;
+        for key in path {
+            match node.get(key) {
+                Some(next) => node = next,
+                None => return 0.0,
+            }
+        }
+        node.as_f64().unwrap_or(0.0)
+    };
+    let status = health.get("status").and_then(Json::as_str).unwrap_or("?");
+    let version = metrics
+        .get("process")
+        .and_then(|p| p.get("version"))
+        .and_then(Json::as_str)
+        .unwrap_or("?");
+    let mut out = format!(
+        "slade top — {addr} · status: {status} · v{version} · up {:.0}s\n",
+        num(metrics, &["process", "uptime_seconds"])
+    );
+    out.push_str(&format!(
+        "window {:.0}s: {:.0} req, {:.1} req/s · lifetime errors {:.0}, timeouts {:.0}\n",
+        num(metrics, &["window", "seconds"]),
+        num(metrics, &["window", "requests"]),
+        num(metrics, &["window", "req_per_sec"]),
+        num(metrics, &["ops", "errors"]),
+        num(metrics, &["ops", "timeouts"]),
+    ));
+    out.push_str(&format!(
+        "engine: queue {:.0}, threads {:.0}, steals {:.0} · cache: {:.0}/{:.0} entries, \
+         hit rate {:.2}, evictions {:.0} · sessions {:.0}\n",
+        num(metrics, &["engine", "queue_depth"]),
+        num(metrics, &["engine", "threads"]),
+        num(metrics, &["engine", "steals"]),
+        num(metrics, &["cache", "entries"]),
+        num(metrics, &["cache", "capacity"]),
+        num(metrics, &["cache", "hit_rate"]),
+        num(metrics, &["cache", "evictions"]),
+        num(metrics, &["sessions", "active"]),
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>8} {:>10} {:>10} {:>10}\n",
+        "verb", "total", "win", "win p50", "win p90", "win p99"
+    ));
+    if let Some(latency) = metrics.get("latency").and_then(Json::members) {
+        for (verb, stats) in latency {
+            let total = num(stats, &["count"]);
+            let windowed = num(stats, &["window_count"]);
+            if total == 0.0 && windowed == 0.0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{verb:<10} {total:>8.0} {windowed:>8.0} {:>10} {:>10} {:>10}\n",
+                fmt_ns(num(stats, &["window_p50_ns"])),
+                fmt_ns(num(stats, &["window_p90_ns"])),
+                fmt_ns(num(stats, &["window_p99_ns"])),
+            ));
+        }
+    }
+    if let Some(signals) = health.get("signals").and_then(Json::members) {
+        let line: Vec<String> = signals
+            .iter()
+            .map(|(name, signal)| {
+                let status = signal.get("status").and_then(Json::as_str).unwrap_or("?");
+                format!("{name}:{status}")
+            })
+            .collect();
+        out.push_str(&format!("health: {}\n", line.join(" ")));
+    }
+    if let Some(reasons) = health.get("reasons").and_then(Json::as_array) {
+        for reason in reasons.iter().filter_map(Json::as_str) {
+            out.push_str(&format!("  ! {reason}\n"));
+        }
+    }
+    out
+}
+
+/// Human-scaled duration for the dashboard: ns → µs → ms → s.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
 }
 
 fn parse_batch_options(args: &[String]) -> Result<(usize, usize, bool), CliError> {
@@ -1008,6 +1189,12 @@ mod tests {
             "client --port 80",
             "client --connect 127.0.0.1:9 --pipeline 0",
             "client --pipeline",
+            "top",
+            "top --connect",
+            "top --connect 127.0.0.1:9 --interval-ms 0",
+            "top --connect 127.0.0.1:9 --interval-ms",
+            "top --connect 127.0.0.1:9 --iterations x",
+            "top --frobnicate",
         ] {
             assert!(
                 matches!(run(&argv(bad)), Err(CliError::Usage(_))),
@@ -1017,6 +1204,88 @@ mod tests {
         // A client pointed at nothing is a solve-stage failure, not usage.
         let err = run_client(&argv("--connect 127.0.0.1:9"), "{}\n").unwrap_err();
         assert!(matches!(err, CliError::Solve(_)), "{err:?}");
+    }
+
+    #[test]
+    fn top_renders_a_dashboard_frame_from_canned_responses() {
+        let metrics = slade_server::json::parse(
+            r#"{"ok":true,"op":"metrics",
+                "ops":{"solve":12,"errors":1,"timeouts":0},
+                "cache":{"entries":3,"capacity":64,"hit_rate":0.5,"evictions":2},
+                "engine":{"queue_depth":1,"threads":4,"steals":9},
+                "sessions":{"active":2},
+                "latency":{"solve":{"count":12,"window_count":5,
+                    "window_p50_ns":1500,"window_p90_ns":2000000,
+                    "window_p99_ns":3000000000},
+                  "claim":{"count":0,"window_count":0}},
+                "window":{"enabled":true,"seconds":60,"requests":5,"req_per_sec":0.25},
+                "process":{"uptime_seconds":42,"version":"0.1.0"}}"#,
+        )
+        .unwrap();
+        let health = slade_server::json::parse(
+            r#"{"ok":true,"op":"health","status":"degraded",
+                "reasons":["queue saturation 0.50 (depth 1 of capacity 2)"],
+                "signals":{"queue":{"status":"degraded"},"timeouts":{"status":"ok"},
+                           "errors":{"status":"ok"},"cache":{"status":"ok"},
+                           "sessions":{"status":"ok"}}}"#,
+        )
+        .unwrap();
+        let frame = render_top("127.0.0.1:7878", &metrics, &health);
+        assert!(frame.contains("status: degraded"), "{frame}");
+        assert!(frame.contains("v0.1.0"), "{frame}");
+        assert!(frame.contains("window 60s: 5 req, 0.2 req/s"), "{frame}");
+        assert!(frame.contains("queue 1, threads 4, steals 9"), "{frame}");
+        // The per-verb table scales units and hides all-zero verbs.
+        assert!(frame.contains("1.5µs"), "{frame}");
+        assert!(frame.contains("2.0ms"), "{frame}");
+        assert!(frame.contains("3.00s"), "{frame}");
+        assert!(!frame.contains("claim"), "{frame}");
+        assert!(frame.contains("health: queue:degraded"), "{frame}");
+        assert!(frame.contains("! queue saturation 0.50"), "{frame}");
+    }
+
+    #[test]
+    fn top_snapshots_a_live_server_and_metrics_addr_serves_prometheus() {
+        use std::sync::mpsc;
+        use std::thread;
+        use std::time::Duration;
+
+        let (tx, rx) = mpsc::channel();
+        let serving = thread::spawn(move || {
+            run_serve(
+                &argv("--addr 127.0.0.1:0 --threads 2 --metrics-addr 127.0.0.1:0"),
+                &move |a| {
+                    tx.send(a).unwrap();
+                },
+            )
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("server must announce its address");
+
+        // Some traffic, then a point-in-time dashboard frame.
+        run_client(
+            &argv(&format!("--connect {addr}")),
+            "{\"tasks\":4,\"threshold\":0.95}\n",
+        )
+        .unwrap();
+        let frame = run_top(&argv(&format!("--connect {addr} --iterations 1"))).unwrap();
+        assert!(frame.contains("slade top"), "{frame}");
+        assert!(frame.contains("status: ok"), "{frame}");
+        assert!(frame.contains("solve"), "{frame}");
+        assert!(frame.contains("health: queue:ok"), "{frame}");
+
+        // The ephemeral metrics port is announced on stderr (not capturable
+        // here); the HTTP responder itself is pinned by the server's e2e
+        // tests. This test verifies the flag threads through `serve` and
+        // the server runs and shuts down cleanly with the listener up.
+        run_client(
+            &argv(&format!("--connect {addr}")),
+            "{\"op\":\"shutdown\"}\n",
+        )
+        .unwrap();
+        let summary = serving.join().unwrap().unwrap();
+        assert!(summary.contains("shut down cleanly"), "{summary}");
     }
 
     #[test]

@@ -772,6 +772,14 @@ impl Engine {
         self.sched.depth()
     }
 
+    /// The job-queue capacity the scheduler was built with (the submit
+    /// backpressure bound), clamped to at least 1 exactly as
+    /// [`Engine::new`] clamps it. Together with [`Engine::queue_depth`]
+    /// this is the saturation signal health checks page on.
+    pub fn queue_capacity(&self) -> usize {
+        self.config.queue_capacity.max(1)
+    }
+
     /// Worker park episodes since the pool was spawned: times a worker went
     /// to sleep because no work was queued.
     pub fn parks(&self) -> u64 {

@@ -65,8 +65,18 @@
 //! trace id and the `trace` verb returns the request's staged timeline
 //! (queued → admitted → dispatched → per-shard start/finish with worker
 //! and steal provenance → merged → written). The `metrics` verb exports a
-//! self-consistent JSON snapshot; see [`protocol`] and [`ObsOptions`] for
-//! the knobs (JSONL trace log, slow-request log, ring size).
+//! self-consistent JSON snapshot — lifetime numbers plus a sliding-window
+//! view (windowed p50/p90/p99 and req/s over roughly the last minute,
+//! [`ObsOptions::window`]); the `health` verb computes readiness from live
+//! signals (queue saturation, windowed timeout/error rates, cache-eviction
+//! pressure, connected sessions) as `ok|degraded|unhealthy` with
+//! per-signal reasons; the `profile` verb aggregates the traced spans into
+//! a per-phase wall-time breakdown (queued / dispatch / per-shard solve
+//! split by steal provenance / merge / write); and
+//! [`ServerConfig::metrics_addr`] starts a minimal HTTP `GET /metrics`
+//! responder rendering the same registry in Prometheus text format. See
+//! [`protocol`] and [`ObsOptions`] for the knobs (JSONL trace log,
+//! slow-request log, ring size, window width).
 //!
 //! ## Quickstart
 //!

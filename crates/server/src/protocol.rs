@@ -14,6 +14,8 @@
 //! | `stats` | — (`seq` is rejected: stats answer in line, at their position in the request stream) | cache, per-op and per-algorithm counters |
 //! | `metrics` | — (`seq` is rejected, as for `stats`) | full observability snapshot: op counters, cache rates, engine/scheduler gauges, store contention, per-verb latency histogram quantiles |
 //! | `trace` | optional `limit` (`seq` is rejected, as for `stats`) | the newest completed request spans, oldest first |
+//! | `health` | — (`seq` is rejected, as for `stats`) | readiness from live signals: `ok`/`degraded`/`unhealthy` with per-signal detail and reasons |
+//! | `profile` | optional `limit` (`seq` is rejected, as for `stats`) | per-phase wall-time breakdown aggregated from the newest completed spans |
 //! | `shutdown` | — (`seq` is rejected: shutdown first drains every tagged in-flight request, then acks) | ack; the server then drains and exits |
 //!
 //! ## Tracing (`trace: true`)
@@ -72,8 +74,9 @@ use slade_engine::{EngineRequest, WorkloadDelta};
 use std::sync::Arc;
 
 /// The protocol verbs, for error messages and dispatch tables.
-pub const VERBS: [&str; 9] = [
-    "solve", "batch", "resubmit", "claim", "release", "stats", "metrics", "trace", "shutdown",
+pub const VERBS: [&str; 11] = [
+    "solve", "batch", "resubmit", "claim", "release", "stats", "metrics", "trace", "health",
+    "profile", "shutdown",
 ];
 
 /// One parsed protocol request.
@@ -134,6 +137,15 @@ pub enum Request {
     /// Report the newest completed request spans, oldest first.
     Trace {
         /// Cap on the number of spans returned (the newest ones win).
+        limit: Option<usize>,
+    },
+    /// Report readiness computed from live signals (queue saturation,
+    /// windowed timeout/error rate, cache-eviction pressure, sessions).
+    Health,
+    /// Report the per-phase wall-time breakdown aggregated from the newest
+    /// completed request spans.
+    Profile {
+        /// Cap on the number of spans aggregated (the newest ones win).
         limit: Option<usize>,
     },
     /// Drain and stop the server.
@@ -233,7 +245,7 @@ pub fn parse_request(line: &str, default_bins: &Arc<BinSet>) -> Result<Request, 
                 Request::Release { id }
             })
         }
-        "stats" | "metrics" | "shutdown" => {
+        "stats" | "metrics" | "health" | "shutdown" => {
             for (key, _) in members {
                 if key != "op" {
                     return Err(format!("unknown field `{key}` for `{op}`"));
@@ -242,16 +254,18 @@ pub fn parse_request(line: &str, default_bins: &Arc<BinSet>) -> Result<Request, 
             Ok(match op {
                 "stats" => Request::Stats,
                 "metrics" => Request::Metrics,
+                "health" => Request::Health,
                 _ => Request::Shutdown,
             })
         }
-        "trace" => {
-            // Like stats, trace reads answer in line, at their position in
-            // the request stream — `seq` is an unknown field here.
+        "trace" | "profile" => {
+            // Like stats, trace/profile reads answer in line, at their
+            // position in the request stream — `seq` is an unknown field
+            // here.
             for (key, _) in members {
                 if !matches!(key.as_str(), "op" | "limit") {
                     return Err(format!(
-                        "unknown field `{key}` for `trace` (expected op, limit)"
+                        "unknown field `{key}` for `{op}` (expected op, limit)"
                     ));
                 }
             }
@@ -259,7 +273,11 @@ pub fn parse_request(line: &str, default_bins: &Arc<BinSet>) -> Result<Request, 
                 None => None,
                 Some(v) => Some(json_u32(v, "`limit`")? as usize),
             };
-            Ok(Request::Trace { limit })
+            Ok(if op == "trace" {
+                Request::Trace { limit }
+            } else {
+                Request::Profile { limit }
+            })
         }
         other => Err(format!(
             "unknown op `{other}`; expected one of: {}",
@@ -840,6 +858,37 @@ mod tests {
             (r#"{"op":"metrics","x":1}"#, "unknown field `x`"),
             (r#"{"op":"trace","limit":-1}"#, "non-negative integer"),
             (r#"{"op":"trace","limit":1.5}"#, "non-negative integer"),
+        ] {
+            let err = parse_request(line, &bins()).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn health_and_profile_verbs_parse_strictly() {
+        assert!(matches!(
+            parse_request(r#"{"op":"health"}"#, &bins()).unwrap(),
+            Request::Health
+        ));
+        let Request::Profile { limit } = parse_request(r#"{"op":"profile"}"#, &bins()).unwrap()
+        else {
+            panic!("expected a profile");
+        };
+        assert_eq!(limit, None);
+        let Request::Profile { limit } =
+            parse_request(r#"{"op":"profile","limit":3}"#, &bins()).unwrap()
+        else {
+            panic!("expected a profile");
+        };
+        assert_eq!(limit, Some(3));
+
+        // Both answer in line, at their stream position: un-pipelinable.
+        for (line, needle) in [
+            (r#"{"op":"health","seq":1}"#, "unknown field `seq`"),
+            (r#"{"op":"profile","seq":1}"#, "unknown field `seq`"),
+            (r#"{"op":"health","limit":2}"#, "unknown field `limit`"),
+            (r#"{"op":"profile","x":1}"#, "unknown field `x`"),
+            (r#"{"op":"profile","limit":-1}"#, "non-negative integer"),
         ] {
             let err = parse_request(line, &bins()).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");

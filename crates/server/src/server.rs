@@ -61,7 +61,10 @@ use slade_engine::{
     Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, PlanStore, RequestTrace,
     ResolvedHandle, ResolvedPlan, SessionId, ShardNotify, StoreError,
 };
-use slade_obs::{Counter, Histogram, Registry, RequestSpan, SpanRecord, SpanRing};
+use slade_obs::{
+    Counter, Registry, RequestSpan, SpanRecord, SpanRing, WindowedCounter, WindowedHistogram,
+    PROMETHEUS_CONTENT_TYPE,
+};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -121,6 +124,12 @@ pub struct ServerConfig {
     pub request_middleware: Option<RequestMiddleware>,
     /// Observability knobs; see [`ObsOptions`].
     pub obs: ObsOptions,
+    /// When set, also bind a minimal HTTP listener on this address and
+    /// answer `GET /metrics` with the Prometheus text exposition of the
+    /// registry (port `0` picks an ephemeral port; read it back with
+    /// [`Server::metrics_local_addr`]). Hand-rolled and thread-per-
+    /// connection like the main server; no other path is served.
+    pub metrics_addr: Option<String>,
 }
 
 /// Observability configuration: latency histograms, request tracing, and
@@ -143,6 +152,16 @@ pub struct ObsOptions {
     /// Completed traced spans retained for the `trace` verb (newest wins;
     /// clamped to at least 1).
     pub trace_ring: usize,
+    /// Width of the sliding window behind the `metrics` verb's windowed
+    /// p50/p90/p99 + req/s and the `health` verb's windowed rates.
+    /// [`Duration::ZERO`] disables windowing (the windowed sections report
+    /// zeros) — the knob the obs-window A/B benchmark flips; the record
+    /// path is identical either way.
+    pub window: Duration,
+    /// Sub-windows the sliding window is split into (clamped to at least
+    /// 1). More slots track decay more smoothly at slightly more reader-
+    /// side work per rotation.
+    pub window_slots: usize,
 }
 
 impl Default for ObsOptions {
@@ -152,6 +171,8 @@ impl Default for ObsOptions {
             trace_log: None,
             slow_ms: None,
             trace_ring: 256,
+            window: Duration::from_secs(60),
+            window_slots: slade_obs::WINDOW_SLOTS,
         }
     }
 }
@@ -168,6 +189,7 @@ impl fmt::Debug for ServerConfig {
                 &self.request_middleware.as_ref().map(|_| "<hook>"),
             )
             .field("obs", &self.obs)
+            .field("metrics_addr", &self.metrics_addr)
             .finish()
     }
 }
@@ -181,37 +203,50 @@ impl Default for ServerConfig {
             max_inflight: 32,
             request_middleware: None,
             obs: ObsOptions::default(),
+            metrics_addr: None,
         }
     }
 }
 
 /// Per-op and per-algorithm request counters, reported by the `stats` and
-/// `metrics` verbs. Each is a sharded relaxed [`Counter`] living in the
-/// server's [`Registry`] (named `ops.<verb>` / `algorithms.<name>`), so the
-/// `metrics` snapshot and the `stats` response read the same cells.
+/// `metrics` verbs. The op counters are [`WindowedCounter`]s living in the
+/// server's [`Registry`] (named `ops.<verb>`) — lifetime values identical
+/// to the plain counters they replaced (same relaxed sharded record path),
+/// plus the windowed rates the `health` verb and the `metrics` windowed
+/// sections read. Per-algorithm counters stay plain [`Counter`]s.
 struct Counters {
-    solve: Arc<Counter>,
-    batch: Arc<Counter>,
-    resubmit: Arc<Counter>,
-    claim: Arc<Counter>,
-    release: Arc<Counter>,
-    stats: Arc<Counter>,
-    metrics: Arc<Counter>,
-    trace: Arc<Counter>,
-    shutdown: Arc<Counter>,
+    solve: Arc<WindowedCounter>,
+    batch: Arc<WindowedCounter>,
+    resubmit: Arc<WindowedCounter>,
+    claim: Arc<WindowedCounter>,
+    release: Arc<WindowedCounter>,
+    stats: Arc<WindowedCounter>,
+    metrics: Arc<WindowedCounter>,
+    trace: Arc<WindowedCounter>,
+    health: Arc<WindowedCounter>,
+    profile: Arc<WindowedCounter>,
+    shutdown: Arc<WindowedCounter>,
     /// Requests that arrived with a `seq` tag (also counted under their op).
-    pipelined: Arc<Counter>,
+    pipelined: Arc<WindowedCounter>,
     /// Tagged requests the multiplexer answered with a deadline-expiry
-    /// timeout (also counted under their op, and under `errors` like every
-    /// error response).
-    timeouts: Arc<Counter>,
-    errors: Arc<Counter>,
+    /// timeout (also counted under their op, under `errors` like every
+    /// error response, and — per verb — under `timeouts.<verb>`).
+    timeouts: Arc<WindowedCounter>,
+    /// The per-verb split of `timeouts`: `timeouts.<verb>` for the three
+    /// verbs that can expire in the multiplexer. The global counter is
+    /// unchanged (wire compatibility); these add the breakdown.
+    timeouts_solve: Arc<WindowedCounter>,
+    timeouts_batch: Arc<WindowedCounter>,
+    timeouts_resubmit: Arc<WindowedCounter>,
+    errors: Arc<WindowedCounter>,
     algorithms: [Arc<Counter>; ALGORITHMS],
 }
 
 impl Counters {
-    fn new(registry: &Registry) -> Counters {
-        let op = |name: &str| registry.counter(&format!("ops.{name}"));
+    fn new(registry: &Registry, window: Duration, slots: usize) -> Counters {
+        let op = |name: &str| registry.windowed_counter(&format!("ops.{name}"), window, slots);
+        let timeout =
+            |name: &str| registry.windowed_counter(&format!("timeouts.{name}"), window, slots);
         Counters {
             solve: op("solve"),
             batch: op("batch"),
@@ -221,9 +256,14 @@ impl Counters {
             stats: op("stats"),
             metrics: op("metrics"),
             trace: op("trace"),
+            health: op("health"),
+            profile: op("profile"),
             shutdown: op("shutdown"),
             pipelined: op("pipelined"),
             timeouts: op("timeouts"),
+            timeouts_solve: timeout("solve"),
+            timeouts_batch: timeout("batch"),
+            timeouts_resubmit: timeout("resubmit"),
             errors: op("errors"),
             algorithms: std::array::from_fn(|i| {
                 registry.counter(&format!("algorithms.{}", Algorithm::ALL[i].name()))
@@ -242,14 +282,29 @@ impl Counters {
     fn count_error(&self) {
         self.errors.inc();
     }
+
+    /// Counts one multiplexer deadline expiry: the legacy global counter
+    /// plus the per-verb `timeouts.<verb>` split.
+    fn count_timeout(&self, op: &str) {
+        self.timeouts.inc();
+        match op {
+            "solve" => self.timeouts_solve.inc(),
+            "batch" => self.timeouts_batch.inc(),
+            "resubmit" => self.timeouts_resubmit.inc(),
+            // Only pipelinable verbs can expire in the multiplexer; an
+            // unknown op here would be a dispatch bug, not a counter miss.
+            other => debug_assert!(false, "unexpected timeout verb `{other}`"),
+        }
+    }
 }
 
 /// The verbs whose end-to-end latency is histogrammed, index-aligned with
 /// [`ServerObs::latency`]. `shutdown` is deliberately absent: its ack is
 /// written mid-drain while the server is stopping, so a sample would
 /// measure the drain, not the request.
-const LATENCY_VERBS: [&str; 8] = [
-    "solve", "batch", "resubmit", "claim", "release", "stats", "metrics", "trace",
+const LATENCY_VERBS: [&str; 10] = [
+    "solve", "batch", "resubmit", "claim", "release", "stats", "metrics", "trace", "health",
+    "profile",
 ];
 
 /// The server's observability sink: the metric registry, per-verb latency
@@ -261,7 +316,10 @@ struct ServerObs {
     /// Completed traced spans, newest `capacity` retained.
     ring: SpanRing,
     /// Per-verb latency histograms, index-aligned with [`LATENCY_VERBS`].
-    latency: Vec<Arc<Histogram>>,
+    /// Windowed: lifetime behavior identical to the plain histograms they
+    /// replaced, plus the sliding-window view behind the `metrics` verb's
+    /// windowed quantiles/rates.
+    latency: Vec<Arc<WindowedHistogram>>,
     /// JSONL export of every completed traced span. The mutex is on the
     /// trace-log file only — never on the request path; only the writer
     /// thread (and the rare drain) takes it.
@@ -275,7 +333,13 @@ impl ServerObs {
     fn new(options: &ObsOptions, registry: Registry) -> io::Result<ServerObs> {
         let latency = LATENCY_VERBS
             .iter()
-            .map(|verb| registry.histogram(&format!("latency.{verb}")))
+            .map(|verb| {
+                registry.windowed_histogram(
+                    &format!("latency.{verb}"),
+                    options.window,
+                    options.window_slots,
+                )
+            })
             .collect();
         let trace_log = match &options.trace_log {
             None => None,
@@ -296,7 +360,7 @@ impl ServerObs {
 
     /// The latency histogram for `op`, when `op` is a [`LATENCY_VERBS`]
     /// member.
-    fn latency_for(&self, op: &str) -> Option<&Arc<Histogram>> {
+    fn latency_for(&self, op: &str) -> Option<&Arc<WindowedHistogram>> {
         LATENCY_VERBS
             .iter()
             .position(|verb| *verb == op)
@@ -345,6 +409,9 @@ struct Shared {
     engine: Engine,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
+    /// Bound address of the Prometheus `/metrics` HTTP listener, when
+    /// [`ServerConfig::metrics_addr`] was set.
+    metrics_addr: Option<SocketAddr>,
     request_timeout: Duration,
     max_inflight: usize,
     middleware: Option<RequestMiddleware>,
@@ -356,6 +423,19 @@ struct Shared {
     store: PlanStore,
     /// Session id allocator; ids start at 1 and are never reused.
     next_session: AtomicU64,
+    /// When the server came up — the `process.uptime_seconds` anchor.
+    started: Instant,
+    /// The configured sliding window, echoed by the `metrics` response's
+    /// `window` section.
+    window: Duration,
+    /// Cache evictions mirrored into [`Shared::evictions_window`] so far.
+    /// The engine owns the lifetime eviction counter; health/metrics
+    /// readers feed the delta into the windowed counter — reader-driven,
+    /// never on the solve path.
+    evictions_seen: AtomicU64,
+    /// Windowed view of cache evictions, for the health verb's
+    /// cache-pressure signal.
+    evictions_window: WindowedCounter,
 }
 
 impl Shared {
@@ -365,13 +445,29 @@ impl Shared {
             None => request,
         }
     }
+
+    /// Feeds the engine's lifetime eviction count into the windowed
+    /// eviction counter. Called by health/metrics/exposition readers; the
+    /// `fetch_max` makes concurrent readers attribute each delta exactly
+    /// once.
+    fn mirror_evictions(&self) {
+        let current = self.engine.cache_stats().evictions;
+        let previous = self.evictions_seen.fetch_max(current, Ordering::Relaxed);
+        if current > previous {
+            self.evictions_window.add(current - previous);
+        }
+    }
 }
 
-/// Flips the shutdown flag and wakes the blocked acceptor with a loopback
-/// connection (std's `accept` has no cancellation of its own).
+/// Flips the shutdown flag and wakes the blocked acceptors with loopback
+/// connections (std's `accept` has no cancellation of its own). The
+/// metrics listener, when bound, is woken the same way as the main one.
 fn trigger_shutdown(shared: &Shared) {
     if !shared.shutdown.swap(true, Ordering::SeqCst) {
         let _ = TcpStream::connect(shared.local_addr);
+        if let Some(metrics_addr) = shared.metrics_addr {
+            let _ = TcpStream::connect(metrics_addr);
+        }
     }
 }
 
@@ -395,21 +491,37 @@ impl ShutdownHandle {
 /// [crate docs](crate) for the protocol and an example.
 pub struct Server {
     listener: TcpListener,
+    /// The `GET /metrics` HTTP listener, when configured.
+    metrics_listener: Option<TcpListener>,
     shared: Arc<Shared>,
 }
 
 impl Server {
-    /// Binds the listener and spawns the engine's worker pool.
+    /// Binds the listener(s) and spawns the engine's worker pool.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let metrics_listener = match &config.metrics_addr {
+            None => None,
+            Some(addr) => Some(TcpListener::bind(addr)?),
+        };
+        let metrics_addr = match &metrics_listener {
+            None => None,
+            Some(listener) => Some(listener.local_addr()?),
+        };
         let registry = Registry::new();
-        let counters = Counters::new(&registry);
+        let counters = Counters::new(&registry, config.obs.window, config.obs.window_slots);
+        // Satellite identity/uptime gauges: `build.info` is the
+        // conventional constant-1 gauge (the exposition attaches the
+        // version as a label); uptime is refreshed at read time.
+        registry.gauge("build.info").set(1);
+        registry.gauge("process.uptime_seconds").set(0);
         let obs = ServerObs::new(&config.obs, registry)?;
         let shared = Arc::new(Shared {
             engine: Engine::new(config.engine),
             shutdown: AtomicBool::new(false),
             local_addr,
+            metrics_addr,
             request_timeout: config.request_timeout,
             max_inflight: config.max_inflight.max(1),
             middleware: config.request_middleware,
@@ -418,13 +530,27 @@ impl Server {
             connections: AtomicUsize::new(0),
             store: PlanStore::new(),
             next_session: AtomicU64::new(1),
+            started: Instant::now(),
+            window: config.obs.window,
+            evictions_seen: AtomicU64::new(0),
+            evictions_window: WindowedCounter::new(config.obs.window, config.obs.window_slots),
         });
-        Ok(Server { listener, shared })
+        Ok(Server {
+            listener,
+            metrics_listener,
+            shared,
+        })
     }
 
     /// The bound address (resolves the ephemeral port of `addr: …:0`).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.local_addr
+    }
+
+    /// The bound address of the `GET /metrics` HTTP listener, when
+    /// [`ServerConfig::metrics_addr`] was set.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.shared.metrics_addr
     }
 
     /// A handle that can stop the server from another thread.
@@ -439,7 +565,18 @@ impl Server {
     /// accepting, joins every session thread, and shuts the engine down so
     /// all queued shards finish before this returns.
     pub fn run(self) -> io::Result<()> {
-        let Server { listener, shared } = self;
+        let Server {
+            listener,
+            metrics_listener,
+            shared,
+        } = self;
+        let metrics_thread = metrics_listener.map(|metrics_listener| {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("slade-metrics-http".to_string())
+                .spawn(move || metrics_http_loop(&metrics_listener, &shared))
+                .expect("spawning the metrics HTTP thread")
+        });
         let mut sessions: Vec<JoinHandle<()>> = Vec::new();
         loop {
             let accepted = listener.accept();
@@ -470,9 +607,95 @@ impl Server {
         for handle in sessions {
             let _ = handle.join();
         }
+        if let Some(handle) = metrics_thread {
+            // `trigger_shutdown` poked the metrics listener too, so its
+            // accept loop has observed the flag and is exiting.
+            let _ = handle.join();
+        }
         shared.engine.shutdown();
         Ok(())
     }
+}
+
+/// The `GET /metrics` accept loop: thread-per-connection like the main
+/// server, hand-rolled HTTP/1.1, closing each connection after one
+/// response. Woken at shutdown by [`trigger_shutdown`]'s loopback connect.
+fn metrics_http_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let accepted = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // the wake-up connection (or a late scraper): drop it
+        }
+        let stream = match accepted {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                thread::sleep(ACCEPT_RETRY);
+                continue;
+            }
+        };
+        let conn_shared = Arc::clone(shared);
+        let _ = thread::Builder::new()
+            .name("slade-metrics-conn".to_string())
+            .spawn(move || serve_metrics_connection(stream, &conn_shared));
+    }
+}
+
+/// Serves one scrape connection: reads the request head, answers
+/// `GET /metrics` with the Prometheus text exposition of the registry
+/// snapshot, everything else with a 404. Read errors or malformed requests
+/// just drop the connection — a scraper retries, and nothing here may
+/// disturb the protocol listener.
+fn serve_metrics_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(WRITE_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // Read until the end of the request head (CRLF CRLF). GET requests
+    // carry no body, so nothing else needs draining.
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 16 * 1024 {
+            return; // not a plausible scrape request
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let request_line = match head.split(|&b| b == b'\r').next() {
+        Some(line) => String::from_utf8_lossy(line).into_owned(),
+        None => return,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method == "GET" && (path == "/metrics" || path.starts_with("/metrics?")) {
+        let body = render_exposition(shared);
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: {PROMETHEUS_CONTENT_TYPE}\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    } else {
+        let body = "only GET /metrics is served here\n";
+        format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Renders the Prometheus text body: refresh the mirrored/derived gauges
+/// (cache, uptime, health), then snapshot and render. Scrapes are a
+/// reader, so each one also rotates the window rings.
+fn render_exposition(shared: &Shared) -> String {
+    refresh_cache_gauges(shared);
+    evaluate_health(shared); // sets the health.* gauges
+    slade_obs::render_prometheus(
+        &shared.obs.registry.snapshot(),
+        Some(env!("CARGO_PKG_VERSION")),
+    )
 }
 
 /// One connection: counts itself in, serves lines, counts itself out. At
@@ -977,6 +1200,30 @@ impl Session<'_> {
                     },
                 );
             }
+            Ok(Request::Health) => {
+                counters.health.inc();
+                let response = self.health_response();
+                io.respond_done(
+                    response,
+                    Done {
+                        op: "health",
+                        started,
+                        span: None,
+                    },
+                );
+            }
+            Ok(Request::Profile { limit }) => {
+                counters.profile.inc();
+                let response = self.profile_response(limit);
+                io.respond_done(
+                    response,
+                    Done {
+                        op: "profile",
+                        started,
+                        span: None,
+                    },
+                );
+            }
             Ok(Request::Shutdown) => {
                 counters.shutdown.inc();
                 let ack = Json::Object(vec![
@@ -1417,7 +1664,7 @@ impl Session<'_> {
     fn stats_response(&self) -> Json {
         let shared = self.shared;
         let cache = shared.engine.cache_stats();
-        let count = |c: &Arc<Counter>| Json::number(c.get() as f64);
+        let count = |c: &Arc<WindowedCounter>| Json::number(c.get() as f64);
         Json::Object(vec![
             member("ok", Json::Bool(true)),
             member("op", Json::string("stats")),
@@ -1448,6 +1695,8 @@ impl Session<'_> {
                     member("metrics", count(&shared.counters.metrics)),
                     member("trace", count(&shared.counters.trace)),
                     member("timeouts", count(&shared.counters.timeouts)),
+                    member("health", count(&shared.counters.health)),
+                    member("profile", count(&shared.counters.profile)),
                 ]),
             ),
             member(
@@ -1456,7 +1705,7 @@ impl Session<'_> {
                     Algorithm::ALL
                         .iter()
                         .zip(&shared.counters.algorithms)
-                        .map(|(a, c)| member(a.name(), count(c)))
+                        .map(|(a, c)| member(a.name(), Json::number(c.get() as f64)))
                         .collect(),
                 ),
             ),
@@ -1477,6 +1726,16 @@ impl Session<'_> {
                 "sessions",
                 Json::number((shared.next_session.load(Ordering::SeqCst) - 1) as f64),
             ),
+            // Appended after every pre-existing member (wire compatibility):
+            // the per-verb split of the `ops.timeouts` counter above.
+            member(
+                "timeouts",
+                Json::Object(vec![
+                    member("solve", count(&shared.counters.timeouts_solve)),
+                    member("batch", count(&shared.counters.timeouts_batch)),
+                    member("resubmit", count(&shared.counters.timeouts_resubmit)),
+                ]),
+            ),
         ])
     }
 
@@ -1488,23 +1747,7 @@ impl Session<'_> {
     fn metrics_response(&self) -> Json {
         let shared = self.shared;
         let cache = shared.engine.cache_stats();
-        let shard_occupancy = shared.engine.cache_shard_occupancy();
-        // Mirror the cache counters into the registry before snapshotting,
-        // so registry consumers (and this very snapshot) see the same
-        // numbers the `cache` member reports.
-        let registry = &shared.obs.registry;
-        registry.gauge("cache.entries").set(cache.entries as i64);
-        registry
-            .gauge("cache.evictions")
-            .set(cache.evictions as i64);
-        registry
-            .gauge("cache.singleflight_waits")
-            .set(cache.singleflight_waits as i64);
-        for (i, occupancy) in shard_occupancy.iter().enumerate() {
-            registry
-                .gauge(&format!("cache.shard.{i}.entries"))
-                .set(*occupancy as i64);
-        }
+        let shard_occupancy = refresh_cache_gauges(shared);
         let snapshot = shared.obs.registry.snapshot();
         let ops: Vec<(String, Json)> = snapshot
             .counters
@@ -1522,6 +1765,11 @@ impl Session<'_> {
                     .get(&format!("latency.{verb}"))
                     .cloned()
                     .unwrap_or_default();
+                let window = snapshot
+                    .windows
+                    .get(&format!("latency.{verb}"))
+                    .cloned()
+                    .unwrap_or_default();
                 member(
                     verb,
                     Json::Object(vec![
@@ -1530,10 +1778,46 @@ impl Session<'_> {
                         member("p90_ns", Json::number(snap.quantile(0.90) as f64)),
                         member("p99_ns", Json::number(snap.quantile(0.99) as f64)),
                         member("mean_ns", Json::number(snap.mean() as f64)),
+                        // Windowed members append after the lifetime ones
+                        // (wire compatibility): the same quantiles over
+                        // roughly the last `window.seconds`.
+                        member("window_count", Json::number(window.snapshot.count() as f64)),
+                        member(
+                            "window_p50_ns",
+                            Json::number(window.snapshot.quantile(0.50) as f64),
+                        ),
+                        member(
+                            "window_p90_ns",
+                            Json::number(window.snapshot.quantile(0.90) as f64),
+                        ),
+                        member(
+                            "window_p99_ns",
+                            Json::number(window.snapshot.quantile(0.99) as f64),
+                        ),
+                        member("window_per_sec", Json::number(window.per_sec())),
                     ]),
                 )
             })
             .collect();
+        // Aggregate req/s across the latency-tracked verbs: total windowed
+        // samples over the longest covered span (the per-verb rings share
+        // one configuration, so spans agree to within a rotation).
+        let window_requests: u64 = snapshot
+            .windows
+            .values()
+            .map(|view| view.snapshot.count())
+            .sum();
+        let window_span = snapshot
+            .windows
+            .values()
+            .map(|view| view.span)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let window_req_per_sec = if window_span.as_secs_f64() > 0.0 {
+            window_requests as f64 / window_span.as_secs_f64()
+        } else {
+            0.0
+        };
         Json::Object(vec![
             member("ok", Json::Bool(true)),
             member("op", Json::string("metrics")),
@@ -1612,6 +1896,44 @@ impl Session<'_> {
                     member("capacity", Json::number(shared.obs.ring.capacity() as f64)),
                 ]),
             ),
+            // Sections below append after every pre-existing one (wire
+            // compatibility, same rule as the nested objects above).
+            member(
+                "window",
+                Json::Object(vec![
+                    member("enabled", Json::Bool(!shared.window.is_zero())),
+                    member("seconds", Json::number(shared.window.as_secs_f64())),
+                    member("requests", Json::number(window_requests as f64)),
+                    member("req_per_sec", Json::number(window_req_per_sec)),
+                ]),
+            ),
+            member(
+                "timeouts",
+                Json::Object(vec![
+                    member(
+                        "solve",
+                        Json::number(shared.counters.timeouts_solve.get() as f64),
+                    ),
+                    member(
+                        "batch",
+                        Json::number(shared.counters.timeouts_batch.get() as f64),
+                    ),
+                    member(
+                        "resubmit",
+                        Json::number(shared.counters.timeouts_resubmit.get() as f64),
+                    ),
+                ]),
+            ),
+            member(
+                "process",
+                Json::Object(vec![
+                    member(
+                        "uptime_seconds",
+                        Json::number(shared.started.elapsed().as_secs_f64()),
+                    ),
+                    member("version", Json::string(env!("CARGO_PKG_VERSION"))),
+                ]),
+            ),
         ])
     }
 
@@ -1630,6 +1952,132 @@ impl Session<'_> {
             member(
                 "spans",
                 Json::Array(spans.iter().map(span_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// The `health` verb: readiness computed from live signals, with
+    /// per-signal status and human-readable reasons for anything that is
+    /// not `ok`. Also refreshes the `health.*` gauges, so a Prometheus
+    /// scrape between health checks reports the last evaluation.
+    fn health_response(&self) -> Json {
+        let report = evaluate_health(self.shared);
+        let signals = report
+            .signals
+            .iter()
+            .map(|signal| {
+                let mut members = vec![member("status", Json::string(signal.status))];
+                members.extend(signal.detail.iter().cloned());
+                member(signal.name, Json::Object(members))
+            })
+            .collect();
+        let reasons = report
+            .signals
+            .iter()
+            .filter_map(|signal| signal.reason.as_ref())
+            .map(Json::string)
+            .collect();
+        Json::Object(vec![
+            member("ok", Json::Bool(true)),
+            member("op", Json::string("health")),
+            member("status", Json::string(report.status)),
+            member("reasons", Json::Array(reasons)),
+            member("signals", Json::Object(signals)),
+        ])
+    }
+
+    /// The `profile` verb: the `SpanRing`'s completed spans aggregated
+    /// into a per-phase wall-time breakdown — queued, admitted→dispatched,
+    /// per-shard solve (split by steal provenance), merge, and write.
+    /// `limit` aggregates only the newest N spans. Only traced requests
+    /// land in the ring, so the profile covers what `trace` covers.
+    fn profile_response(&self, limit: Option<usize>) -> Json {
+        let mut spans = self.shared.obs.ring.snapshot();
+        if let Some(limit) = limit {
+            if spans.len() > limit {
+                spans.drain(..spans.len() - limit);
+            }
+        }
+        let mut queued = PhaseAgg::default();
+        let mut dispatch = PhaseAgg::default();
+        let mut solve = PhaseAgg::default();
+        let mut solve_local = PhaseAgg::default();
+        let mut solve_stolen = PhaseAgg::default();
+        let mut merge = PhaseAgg::default();
+        let mut write = PhaseAgg::default();
+        let mut expired = 0u64;
+        for span in &spans {
+            let first = |stage: &str| {
+                span.events
+                    .iter()
+                    .find(|e| e.stage == stage)
+                    .map(|e| e.at_ns)
+            };
+            let last = |stage: &str| {
+                span.events
+                    .iter()
+                    .rev()
+                    .find(|e| e.stage == stage)
+                    .map(|e| e.at_ns)
+            };
+            if span.events.iter().any(|e| e.stage == "expired") {
+                expired += 1;
+            }
+            if let (Some(q), Some(a)) = (first("queued"), first("admitted")) {
+                queued.add(a.saturating_sub(q));
+            }
+            if let (Some(a), Some(d)) = (first("admitted"), first("dispatched")) {
+                dispatch.add(d.saturating_sub(a));
+            }
+            // Pair shard_start/shard_finish FIFO per shard index (a batch
+            // span legitimately reuses shard indices across sub-requests).
+            let mut open: BTreeMap<usize, std::collections::VecDeque<&slade_obs::StageEvent>> =
+                BTreeMap::new();
+            for event in &span.events {
+                let Some(shard) = event.shard else { continue };
+                match event.stage {
+                    "shard_start" => open.entry(shard).or_default().push_back(event),
+                    "shard_finish" => {
+                        let Some(start) = open.get_mut(&shard).and_then(|q| q.pop_front()) else {
+                            continue;
+                        };
+                        let ns = event.at_ns.saturating_sub(start.at_ns);
+                        solve.add(ns);
+                        if start.stolen == Some(true) {
+                            solve_stolen.add(ns);
+                        } else {
+                            solve_local.add(ns);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(m) = last("merged") {
+                let solved = last("shard_finish").or_else(|| first("dispatched"));
+                if let Some(s) = solved {
+                    merge.add(m.saturating_sub(s));
+                }
+                if let Some(w) = first("written") {
+                    write.add(w.saturating_sub(m));
+                }
+            }
+        }
+        Json::Object(vec![
+            member("ok", Json::Bool(true)),
+            member("op", Json::string("profile")),
+            member("spans", Json::number(spans.len() as f64)),
+            member("expired", Json::number(expired as f64)),
+            member(
+                "phases",
+                Json::Object(vec![
+                    member("queued", queued.to_json()),
+                    member("dispatch", dispatch.to_json()),
+                    member("solve", solve.to_json()),
+                    member("solve_local", solve_local.to_json()),
+                    member("solve_stolen", solve_stolen.to_json()),
+                    member("merge", merge.to_json()),
+                    member("write", write.to_json()),
+                ]),
             ),
         ])
     }
@@ -1679,6 +2127,252 @@ fn span_to_json(record: &SpanRecord) -> Json {
         .collect();
     members.push(member("events", Json::Array(events)));
     Json::Object(members)
+}
+
+/// One wall-time phase aggregated across spans by the `profile` verb.
+#[derive(Default)]
+struct PhaseAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+impl PhaseAgg {
+    fn add(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    fn to_json(&self) -> Json {
+        let mean = self.total_ns.checked_div(self.count).unwrap_or(0);
+        Json::Object(vec![
+            member("count", Json::number(self.count as f64)),
+            member("total_ns", Json::number(self.total_ns as f64)),
+            member("mean_ns", Json::number(mean as f64)),
+            member("max_ns", Json::number(self.max_ns as f64)),
+        ])
+    }
+}
+
+/// Refreshes the registry gauges that mirror externally-owned state — the
+/// engine's cache counters and the process uptime — and returns the
+/// per-shard cache occupancy for callers that also report it. Reader-driven
+/// like the window rings: the `metrics` verb, the health evaluation, and
+/// Prometheus scrapes call this; nothing on the solve path does.
+fn refresh_cache_gauges(shared: &Shared) -> Vec<usize> {
+    let registry = &shared.obs.registry;
+    let cache = shared.engine.cache_stats();
+    registry.gauge("cache.entries").set(cache.entries as i64);
+    registry
+        .gauge("cache.evictions")
+        .set(cache.evictions as i64);
+    registry
+        .gauge("cache.singleflight_waits")
+        .set(cache.singleflight_waits as i64);
+    let shard_occupancy = shared.engine.cache_shard_occupancy();
+    for (i, occupancy) in shard_occupancy.iter().enumerate() {
+        registry
+            .gauge(&format!("cache.shard.{i}.entries"))
+            .set(*occupancy as i64);
+    }
+    registry
+        .gauge("process.uptime_seconds")
+        .set(shared.started.elapsed().as_secs() as i64);
+    shard_occupancy
+}
+
+/// Saturation thresholds for the health verb's signals: a signal is
+/// `degraded` at its first bound and `unhealthy` at its second. Queue
+/// saturation is depth/capacity; timeout and error rates are windowed
+/// ratios of the windowed request total; cache pressure is windowed
+/// evictions per cache-capacity's worth of entries.
+const QUEUE_DEGRADED: f64 = 0.5;
+const QUEUE_UNHEALTHY: f64 = 1.0;
+const RATIO_DEGRADED: f64 = 0.10;
+const RATIO_UNHEALTHY: f64 = 0.50;
+const CACHE_DEGRADED: f64 = 1.0;
+const CACHE_UNHEALTHY: f64 = 4.0;
+
+/// One evaluated health signal: its name, verdict, an explanation when the
+/// verdict is not `ok`, and the raw numbers behind it.
+struct HealthSignal {
+    name: &'static str,
+    status: &'static str,
+    reason: Option<String>,
+    detail: Vec<(String, Json)>,
+}
+
+/// The health verb's full verdict: overall status (the worst signal) plus
+/// every signal.
+struct HealthReport {
+    status: &'static str,
+    signals: Vec<HealthSignal>,
+}
+
+fn status_for(value: f64, degraded: f64, unhealthy: f64) -> &'static str {
+    if value >= unhealthy {
+        "unhealthy"
+    } else if value >= degraded {
+        "degraded"
+    } else {
+        "ok"
+    }
+}
+
+fn status_rank(status: &str) -> u8 {
+    match status {
+        "unhealthy" => 2,
+        "degraded" => 1,
+        _ => 0,
+    }
+}
+
+/// Computes readiness from live signals and mirrors the verdict into
+/// `health.*` gauges (status encoded 0=ok / 1=degraded / 2=unhealthy,
+/// ratios as integer percent). Called by the `health` verb and by every
+/// Prometheus scrape, so the gauges track the most recent evaluation.
+fn evaluate_health(shared: &Shared) -> HealthReport {
+    shared.mirror_evictions();
+    refresh_cache_gauges(shared);
+    let registry = &shared.obs.registry;
+    let mut signals = Vec::with_capacity(5);
+
+    // Queue saturation: admission queue depth against its configured
+    // capacity. At 1.0 submissions block (or time out) — unhealthy.
+    let depth = shared.engine.queue_depth();
+    let capacity = shared.engine.queue_capacity();
+    let saturation = depth as f64 / capacity.max(1) as f64;
+    let queue_status = status_for(saturation, QUEUE_DEGRADED, QUEUE_UNHEALTHY);
+    signals.push(HealthSignal {
+        name: "queue",
+        status: queue_status,
+        reason: (queue_status != "ok").then(|| {
+            format!("queue saturation {saturation:.2} (depth {depth} of capacity {capacity})")
+        }),
+        detail: vec![
+            member("depth", Json::number(depth as f64)),
+            member("capacity", Json::number(capacity as f64)),
+            member("saturation", Json::number(saturation)),
+        ],
+    });
+
+    // Windowed timeout and error rates against the windowed request total.
+    // With no recent traffic both ratios are 0 — an idle server is ready.
+    let counters = &shared.counters;
+    let window_requests: u64 = [
+        &counters.solve,
+        &counters.batch,
+        &counters.resubmit,
+        &counters.claim,
+        &counters.release,
+        &counters.stats,
+        &counters.metrics,
+        &counters.trace,
+        &counters.health,
+        &counters.profile,
+        &counters.shutdown,
+    ]
+    .iter()
+    .map(|c| c.windowed().count)
+    .sum();
+    for (name, count) in [
+        ("timeouts", counters.timeouts.windowed().count),
+        ("errors", counters.errors.windowed().count),
+    ] {
+        let ratio = if window_requests == 0 {
+            0.0
+        } else {
+            count as f64 / window_requests as f64
+        };
+        let status = status_for(ratio, RATIO_DEGRADED, RATIO_UNHEALTHY);
+        signals.push(HealthSignal {
+            name,
+            status,
+            reason: (status != "ok").then(|| {
+                format!("windowed {name} rate {ratio:.2} ({count} of {window_requests} requests)")
+            }),
+            detail: vec![
+                member("window_count", Json::number(count as f64)),
+                member("window_requests", Json::number(window_requests as f64)),
+                member("ratio", Json::number(ratio)),
+            ],
+        });
+    }
+
+    // Cache-eviction pressure: windowed evictions per cache-capacity's
+    // worth of entries. ≥1.0 means the window churned the whole cache at
+    // least once. An uncached engine (capacity 0) has no pressure to
+    // report.
+    let cache_capacity = shared.engine.cache_stats().capacity;
+    let window_evictions = shared.evictions_window.windowed().count;
+    let pressure = if cache_capacity == 0 {
+        0.0
+    } else {
+        window_evictions as f64 / cache_capacity as f64
+    };
+    let cache_status = status_for(pressure, CACHE_DEGRADED, CACHE_UNHEALTHY);
+    signals.push(HealthSignal {
+        name: "cache",
+        status: cache_status,
+        reason: (cache_status != "ok").then(|| {
+            format!(
+                "cache churned {pressure:.2}x its capacity in the window \
+                 ({window_evictions} evictions, capacity {cache_capacity})"
+            )
+        }),
+        detail: vec![
+            member("window_evictions", Json::number(window_evictions as f64)),
+            member("capacity", Json::number(cache_capacity as f64)),
+            member("pressure", Json::number(pressure)),
+        ],
+    });
+
+    // Informational: how many sessions are connected. Never degrades on
+    // its own — admission control is the queue signal's job.
+    let active = shared.connections.load(Ordering::SeqCst);
+    signals.push(HealthSignal {
+        name: "sessions",
+        status: "ok",
+        reason: None,
+        detail: vec![member("active", Json::number(active as f64))],
+    });
+
+    let status = signals
+        .iter()
+        .max_by_key(|signal| status_rank(signal.status))
+        .map(|signal| signal.status)
+        .unwrap_or("ok");
+
+    registry
+        .gauge("health.status")
+        .set(status_rank(status) as i64);
+    registry
+        .gauge("health.queue.saturation_pct")
+        .set((saturation * 100.0) as i64);
+    let pct = |name: &'static str| -> i64 {
+        signals
+            .iter()
+            .find(|signal| signal.name == name)
+            .and_then(|signal| signal.detail.iter().find(|(key, _)| key == "ratio"))
+            .map(|(_, value)| match value {
+                Json::Number(ratio) => (ratio * 100.0) as i64,
+                _ => 0,
+            })
+            .unwrap_or(0)
+    };
+    registry
+        .gauge("health.timeouts.window_ratio_pct")
+        .set(pct("timeouts"));
+    registry
+        .gauge("health.errors.window_ratio_pct")
+        .set(pct("errors"));
+    registry
+        .gauge("health.cache.pressure_pct")
+        .set((pressure * 100.0) as i64);
+    registry.gauge("health.sessions.active").set(active as i64);
+
+    HealthReport { status, signals }
 }
 
 /// Assembles a solve/resubmit success response from a resolved plan; the
@@ -1953,10 +2647,10 @@ impl Mux<'_, '_> {
             let deadline = entry.deadline;
             let timeout = self.session.shared.request_timeout;
             match &mut entry.work {
-                PendingWork::Single { handle, .. } => {
+                PendingWork::Single { handle, op, .. } => {
                     let result = wait_out(|| handle.try_wait(), deadline, timeout);
                     if matches!(result, Err(EngineError::Timeout { .. })) {
-                        self.session.shared.counters.timeouts.inc();
+                        self.session.shared.counters.count_timeout(op);
                     }
                     entry.ready = Some(result);
                     self.finish(entry, None);
@@ -1973,7 +2667,7 @@ impl Mux<'_, '_> {
                         }
                     }
                     if timed_out {
-                        self.session.shared.counters.timeouts.inc();
+                        self.session.shared.counters.count_timeout("batch");
                     }
                     self.finish(entry, None);
                 }
@@ -2002,7 +2696,7 @@ impl Mux<'_, '_> {
             // `fill` arrives exactly from deadline expiry: this request is
             // being answered with a timeout substituted for its missing
             // results.
-            shared.counters.timeouts.inc();
+            shared.counters.count_timeout(op);
             record_stage(&span, "expired");
         } else {
             record_stage(&span, "merged");

@@ -9,31 +9,56 @@
 //! 2. a traced, pipelined request's span comes back over the `trace` verb
 //!    with monotone stage timestamps, the full queued → … → written
 //!    lifecycle, per-shard worker/steal provenance, and a `stolen_shards`
-//!    count that agrees with the engine's `steals` counter delta.
+//!    count that agrees with the engine's `steals` counter delta;
+//! 3. the windowed metrics demonstrably decay: a burst shows up in the
+//!    sliding-window view, and after idling past the window the windowed
+//!    counts read zero while the lifetime numbers hold;
+//! 4. the `health` verb flips `ok` → `degraded` → `ok` under injected
+//!    queue saturation (a condvar-gated solver on a one-worker engine);
+//! 5. the HTTP `GET /metrics` responder serves parseable Prometheus text
+//!    (every line a `# TYPE` comment or a `name value` sample) and 404s
+//!    anything else.
 
+use slade_core::bin_set::BinSet;
+use slade_core::plan::DecompositionPlan;
+use slade_core::solver::{DecompositionSolver, PreparedSolver};
+use slade_core::task::Workload;
+use slade_core::SladeError;
 use slade_engine::EngineConfig;
 use slade_server::json::Json;
-use slade_server::{Client, Server, ServerConfig};
-use std::net::SocketAddr;
-use std::sync::mpsc;
+use slade_server::{Client, ObsOptions, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
 
 /// How long any single test step may block before the test fails.
 const STEP: Duration = Duration::from_secs(20);
 
+fn start_server_with(
+    config: ServerConfig,
+) -> (
+    SocketAddr,
+    Option<SocketAddr>,
+    mpsc::Receiver<std::io::Result<()>>,
+) {
+    let server = Server::bind(config).expect("binding an ephemeral loopback port");
+    let addr = server.local_addr();
+    let metrics_addr = server.metrics_local_addr();
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let _ = tx.send(server.run());
+    });
+    (addr, metrics_addr, rx)
+}
+
 fn start_server(engine: EngineConfig) -> (SocketAddr, mpsc::Receiver<std::io::Result<()>>) {
-    let server = Server::bind(ServerConfig {
+    let (addr, _, rx) = start_server_with(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         engine,
         request_timeout: STEP,
         ..ServerConfig::default()
-    })
-    .expect("binding an ephemeral loopback port");
-    let addr = server.local_addr();
-    let (tx, rx) = mpsc::channel();
-    thread::spawn(move || {
-        let _ = tx.send(server.run());
     });
     (addr, rx)
 }
@@ -302,6 +327,346 @@ fn traced_pipelined_request_reports_its_full_lifecycle_and_steal_provenance() {
     }
     assert_eq!(field_f64(span, "stolen_shards"), stolen_starts, "{span}");
     assert_eq!(steal_delta, stolen_starts, "span vs engine steal counter");
+
+    client.roundtrip("{\"op\":\"shutdown\"}").unwrap();
+    done.recv_timeout(STEP)
+        .expect("server must shut down")
+        .expect("clean exit");
+}
+
+#[test]
+fn windowed_metrics_decay_while_lifetime_numbers_hold() {
+    // A short 400ms window so the test can outlive it: burst ten solves,
+    // see them in the windowed view, idle past the window, see the
+    // windowed counts at zero with the lifetime histogram untouched.
+    let window = Duration::from_millis(400);
+    let (addr, _, done) = start_server_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig {
+            threads: 2,
+            cache_capacity: 16,
+            ..EngineConfig::default()
+        },
+        request_timeout: STEP,
+        obs: ObsOptions {
+            window,
+            window_slots: 8,
+            ..ObsOptions::default()
+        },
+        ..ServerConfig::default()
+    });
+    let mut client = connect(addr);
+    for i in 0..10u32 {
+        let line = format!("{{\"tasks\":{},\"threshold\":0.9}}", 2 + i);
+        client.roundtrip(&line).expect("burst solve");
+    }
+
+    let metrics = parse(&client.roundtrip("{\"op\":\"metrics\"}").unwrap());
+    let latency = metrics.get("latency").expect("latency section");
+    let solve = latency.get("solve").expect("solve row");
+    assert_eq!(field_f64(solve, "count"), 10.0, "{metrics}");
+    // The whole burst just happened; on a grossly overloaded machine the
+    // oldest samples may already have aged, but some must be visible.
+    assert!(
+        field_f64(solve, "window_count") > 0.0,
+        "burst must show in the window: {metrics}"
+    );
+    assert!(field_f64(solve, "window_p50_ns") > 0.0, "{metrics}");
+    let window_section = metrics.get("window").expect("window section");
+    assert_eq!(
+        window_section.get("enabled"),
+        Some(&Json::Bool(true)),
+        "{metrics}"
+    );
+    assert!(field_f64(window_section, "requests") > 0.0, "{metrics}");
+
+    // Idle past the window (plus a sub-window of slack for boundary skew).
+    thread::sleep(window + Duration::from_millis(200));
+
+    let metrics = parse(&client.roundtrip("{\"op\":\"metrics\"}").unwrap());
+    let solve = metrics
+        .get("latency")
+        .expect("latency section")
+        .get("solve")
+        .expect("solve row");
+    assert_eq!(
+        field_f64(solve, "count"),
+        10.0,
+        "lifetime count holds: {metrics}"
+    );
+    assert!(
+        field_f64(solve, "p50_ns") > 0.0,
+        "lifetime quantiles hold: {metrics}"
+    );
+    assert_eq!(
+        field_f64(solve, "window_count"),
+        0.0,
+        "the burst aged out of the window: {metrics}"
+    );
+    assert_eq!(
+        field_f64(solve, "window_per_sec"),
+        0.0,
+        "no windowed rate without windowed samples: {metrics}"
+    );
+
+    client.roundtrip("{\"op\":\"shutdown\"}").unwrap();
+    done.recv_timeout(STEP)
+        .expect("server must shut down")
+        .expect("clean exit");
+}
+
+/// A solver that parks on a test-controlled gate: it announces it started,
+/// then blocks until the test releases it — the vehicle for holding the
+/// engine's one worker busy while a second request saturates the queue.
+#[derive(Debug)]
+struct GatedSolver {
+    gate: Arc<(Mutex<(usize, bool)>, Condvar)>,
+}
+
+impl DecompositionSolver for GatedSolver {
+    fn name(&self) -> &'static str {
+        "GatedGreedy"
+    }
+
+    fn solve(&self, workload: &Workload, bins: &BinSet) -> Result<DecompositionPlan, SladeError> {
+        let (lock, condvar) = &*self.gate;
+        let mut state = lock.lock().unwrap();
+        state.0 += 1;
+        condvar.notify_all();
+        while !state.1 {
+            state = condvar.wait(state).unwrap();
+        }
+        drop(state);
+        slade_core::greedy::Greedy.solve(workload, bins)
+    }
+}
+
+impl PreparedSolver for GatedSolver {}
+
+#[test]
+fn health_flips_to_degraded_under_queue_saturation_and_recovers() {
+    // One worker, queue capacity 2: one gated solve occupies the worker,
+    // a second waits in the queue — depth 1 of capacity 2 is exactly the
+    // 0.5 degraded threshold. Releasing the gate drains the queue and
+    // health returns to ok.
+    let gate: Arc<(Mutex<(usize, bool)>, Condvar)> =
+        Arc::new((Mutex::new((0, false)), Condvar::new()));
+    let middleware_gate = Arc::clone(&gate);
+    let (addr, _, done) = start_server_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig {
+            threads: 1,
+            queue_capacity: 2,
+            cache_capacity: 16,
+            ..EngineConfig::default()
+        },
+        request_timeout: STEP,
+        request_middleware: Some(Arc::new(move |request: slade_engine::EngineRequest| {
+            if request.algorithm == slade_core::solver::Algorithm::Greedy
+                && request.workload.len() == 13
+            {
+                request.with_solver(Arc::new(GatedSolver {
+                    gate: Arc::clone(&middleware_gate),
+                }))
+            } else {
+                request
+            }
+        })),
+        ..ServerConfig::default()
+    });
+
+    let mut watcher = connect(addr);
+    let health = parse(&watcher.roundtrip("{\"op\":\"health\"}").unwrap());
+    assert_eq!(health.get("ok"), Some(&Json::Bool(true)), "{health}");
+    assert_eq!(
+        health.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "an idle server is ready: {health}"
+    );
+
+    // Two gated solves pipelined on their own connection (the client tags
+    // them with seq itself — a pre-tagged line would be a pipeline
+    // barrier): the first parks in the solver, the second sits in the
+    // engine queue.
+    let solver_thread = thread::spawn(move || {
+        let mut client = connect(addr);
+        let lines = [
+            r#"{"algorithm":"greedy","tasks":13}"#,
+            r#"{"algorithm":"greedy","tasks":13}"#,
+        ];
+        client.pipeline(&lines, 2).expect("gated solves")
+    });
+    // Wait until the first solve actually occupies the worker.
+    {
+        let (lock, condvar) = &*gate;
+        let state = lock.lock().unwrap();
+        let (state, timeout) = condvar
+            .wait_timeout_while(state, STEP, |(started, _)| *started == 0)
+            .unwrap();
+        assert!(!timeout.timed_out(), "gated solver never started");
+        drop(state);
+    }
+
+    // The queued second request pushes saturation to 0.5: degraded, with
+    // the queue signal named in the reasons.
+    let deadline = std::time::Instant::now() + STEP;
+    let degraded = loop {
+        let health = parse(&watcher.roundtrip("{\"op\":\"health\"}").unwrap());
+        if health.get("status").and_then(Json::as_str) == Some("degraded") {
+            break health;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "health never degraded: {health}"
+        );
+        thread::sleep(Duration::from_millis(10));
+    };
+    let queue = degraded
+        .get("signals")
+        .and_then(|s| s.get("queue"))
+        .expect("queue signal");
+    assert_eq!(
+        queue.get("status").and_then(Json::as_str),
+        Some("degraded"),
+        "{degraded}"
+    );
+    assert_eq!(field_f64(queue, "depth"), 1.0, "{degraded}");
+    assert_eq!(field_f64(queue, "capacity"), 2.0, "{degraded}");
+    let reasons = degraded
+        .get("reasons")
+        .and_then(Json::as_array)
+        .expect("reasons array");
+    assert!(
+        reasons
+            .iter()
+            .filter_map(Json::as_str)
+            .any(|r| r.contains("queue saturation")),
+        "{degraded}"
+    );
+
+    // Release the gate: both solves complete and health recovers.
+    {
+        let (lock, condvar) = &*gate;
+        lock.lock().unwrap().1 = true;
+        condvar.notify_all();
+    }
+    let responses = solver_thread.join().expect("solver client thread");
+    assert_eq!(responses.len(), 2);
+    for response in &responses {
+        assert!(response.contains("\"ok\":true"), "{response}");
+    }
+
+    let deadline = std::time::Instant::now() + STEP;
+    loop {
+        let health = parse(&watcher.roundtrip("{\"op\":\"health\"}").unwrap());
+        if health.get("status").and_then(Json::as_str) == Some("ok") {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "health never recovered: {health}"
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+
+    watcher.roundtrip("{\"op\":\"shutdown\"}").unwrap();
+    done.recv_timeout(STEP)
+        .expect("server must shut down")
+        .expect("clean exit");
+}
+
+/// One raw HTTP GET against the metrics responder; returns (status line,
+/// headers, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connecting to the metrics listener");
+    stream.set_read_timeout(Some(STEP)).unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("writing the request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("reading the response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), headers.to_string(), body.to_string())
+}
+
+#[test]
+fn prometheus_exposition_serves_parseable_text_over_http() {
+    let (addr, metrics_addr, done) = start_server_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        engine: EngineConfig {
+            threads: 2,
+            cache_capacity: 16,
+            ..EngineConfig::default()
+        },
+        request_timeout: STEP,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    });
+    let metrics_addr = metrics_addr.expect("a metrics listener must bind when configured");
+
+    let mut client = connect(addr);
+    client
+        .roundtrip("{\"tasks\":4,\"threshold\":0.95}")
+        .expect("solve");
+
+    let (status, headers, body) = http_get(metrics_addr, "/metrics");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert!(
+        headers.contains("text/plain; version=0.0.4"),
+        "Prometheus content type: {headers}"
+    );
+    for expected in [
+        "# TYPE slade_build_info gauge",
+        "slade_build_info{version=\"",
+        "slade_ops_solve_total 1",
+        "# TYPE slade_latency_solve histogram",
+        "slade_latency_solve_bucket{le=\"+Inf\"} 1",
+        "slade_latency_solve_count 1",
+        "# TYPE slade_health_status gauge",
+        "slade_health_status 0",
+        "slade_process_uptime_seconds",
+        "slade_ops_solve_window",
+        "slade_latency_solve_window_p99_ns",
+    ] {
+        assert!(body.contains(expected), "missing `{expected}` in:\n{body}");
+    }
+    // Parseability: every line is a `# TYPE` comment or a `name value`
+    // sample with a sanitized name and a numeric value.
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            assert!(parts.next().is_some(), "TYPE line names a metric: {line}");
+            assert!(
+                matches!(parts.next(), Some("counter" | "gauge" | "histogram")),
+                "known kind: {line}"
+            );
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("sample line: `name value`");
+        let bare = name.split('{').next().unwrap();
+        assert!(
+            bare.starts_with("slade_")
+                && bare
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "sanitized slade_-prefixed name: {line}"
+        );
+        assert!(value.parse::<f64>().is_ok(), "numeric value: {line}");
+    }
+
+    // A second scrape works (connections are one-shot), and anything but
+    // GET /metrics is a 404.
+    let (status, _, _) = http_get(metrics_addr, "/metrics");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    let (status, _, _) = http_get(metrics_addr, "/nope");
+    assert!(status.starts_with("HTTP/1.1 404"), "{status}");
 
     client.roundtrip("{\"op\":\"shutdown\"}").unwrap();
     done.recv_timeout(STEP)
