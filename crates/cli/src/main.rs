@@ -90,6 +90,13 @@ OPTIONS (serve):
                             Also serve Prometheus text metrics over HTTP
                             GET /metrics on this address; port 0 picks an
                             ephemeral port [default: off]
+    --journal FILE          Append every stored plan to FILE as JSON lines
+                            and replay it at boot, so retained plans (and
+                            their resubmit chains) survive a crash or
+                            restart [default: off]
+    --lease-ttl-secs S      Reclaim a plan lease S seconds after its
+                            holder's last touch; 0 expires immediately
+                            [default: leases last until session end]
 
 OPTIONS (client):
     --connect HOST:PORT     Server to talk to (required). Requests are read
@@ -326,6 +333,8 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
     let mut cache_impl = defaults.cache_impl;
     let mut obs = slade_server::ObsOptions::default();
     let mut metrics_addr: Option<String> = None;
+    let mut journal: Option<std::path::PathBuf> = None;
+    let mut lease_ttl: Option<Duration> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -371,6 +380,17 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
                 obs.slow_ms = Some(parse_num::<u64>(&value("--slow-ms")?, "--slow-ms")?);
             }
             "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
+            "--journal" => {
+                journal = Some(std::path::PathBuf::from(value("--journal")?));
+            }
+            "--lease-ttl-secs" => {
+                // 0 is allowed: it expires leases immediately, which is
+                // how the recovery tests exercise reclamation.
+                lease_ttl = Some(Duration::from_secs(parse_num::<u64>(
+                    &value("--lease-ttl-secs")?,
+                    "--lease-ttl-secs",
+                )?));
+            }
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown flag `{other}` for `serve`"
@@ -391,6 +411,8 @@ fn parse_serve_options(args: &[String]) -> Result<ServerConfig, CliError> {
         max_inflight,
         obs,
         metrics_addr,
+        journal,
+        lease_ttl,
         ..ServerConfig::default()
     })
 }
@@ -1185,6 +1207,9 @@ mod tests {
             "serve --trace-log",
             "serve --slow-ms",
             "serve --slow-ms fast",
+            "serve --journal",
+            "serve --lease-ttl-secs",
+            "serve --lease-ttl-secs x",
             "client",
             "client --port 80",
             "client --connect 127.0.0.1:9 --pipeline 0",

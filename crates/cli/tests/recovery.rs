@@ -1,0 +1,148 @@
+//! Kill-and-restart recovery, end to end on the real binary: a `slade
+//! serve --journal` process is SIGKILLed mid-resubmit-chain, restarted
+//! on the same journal file, and the resumed chain must answer
+//! byte-identically to the same chain run uninterrupted on one server.
+//! This is the durability contract at its harshest — no flush hook, no
+//! drop handler, no clean shutdown runs on SIGKILL; only the journal's
+//! already-appended records survive.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const STEP: Duration = Duration::from_secs(20);
+
+/// The resubmit chain under test: link `i` resizes the workload to
+/// `4 + i` tasks. `KILL_AFTER` links run on the first process (their
+/// responses read back fully, so the kill point is deterministic); the
+/// rest run on the restarted one.
+const LINKS: u32 = 6;
+const KILL_AFTER: u32 = 3;
+
+fn journal_path(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "slade-recovery-{}-{name}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Spawns `slade-cli serve` on an ephemeral port and parses the bound
+/// address from its stderr announcement.
+fn spawn_server(journal: &PathBuf) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_slade-cli"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--journal",
+        ])
+        .arg(journal)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawning the slade-cli binary");
+    let stderr = child.stderr.take().expect("stderr is piped");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("the server announces before exiting")
+            .expect("reading the announcement");
+        if let Some(rest) = line.strip_prefix("slade-server listening on ") {
+            break rest.trim().parse().expect("announced address parses");
+        }
+    };
+    // Keep stderr drained so the child can never block on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connecting to the spawned server");
+    stream.set_read_timeout(Some(STEP)).unwrap();
+    let reader = BufReader::new(stream.try_clone().expect("cloning the stream"));
+    (stream, reader)
+}
+
+/// One strict request/response round trip; asserts success and returns
+/// the raw response line for byte-identity comparison.
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    writeln!(stream, "{line}").expect("writing the request");
+    let mut response = String::new();
+    reader
+        .read_line(&mut response)
+        .expect("reading the response");
+    assert!(
+        response.contains("\"ok\":true"),
+        "expected success for {line}, got {response}"
+    );
+    response.trim_end().to_string()
+}
+
+fn solve_line() -> String {
+    "{\"op\":\"solve\",\"id\":\"w\",\"tasks\":4,\"threshold\":0.95}".to_string()
+}
+
+fn link_line(i: u32) -> String {
+    // The final link asks for the full plan so the identity check covers
+    // every serialized byte, not just the summary.
+    let plan = if i == LINKS { ",\"plan\":true" } else { "" };
+    format!(
+        "{{\"op\":\"resubmit\",\"id\":\"w\",\"delta\":{{\"resize\":{}}}{plan}}}",
+        4 + i
+    )
+}
+
+#[test]
+fn sigkill_mid_chain_then_restart_resumes_byte_identically() {
+    // Control: the whole chain, one process, no interruptions.
+    let control_journal = journal_path("control");
+    let (mut control, addr) = spawn_server(&control_journal);
+    let (mut stream, mut reader) = connect(addr);
+    roundtrip(&mut stream, &mut reader, &solve_line());
+    let expected: Vec<String> = (1..=LINKS)
+        .map(|i| roundtrip(&mut stream, &mut reader, &link_line(i)))
+        .collect();
+    roundtrip(&mut stream, &mut reader, "{\"op\":\"shutdown\"}");
+    assert!(control.wait().expect("control exits").success());
+
+    // The run under test: SIGKILL once link KILL_AFTER's response is read
+    // back — its record is on disk (or in the page cache, which survives
+    // a process kill), nothing about the store is in flight.
+    let journal = journal_path("killed");
+    let (mut first, addr) = spawn_server(&journal);
+    let (mut stream, mut reader) = connect(addr);
+    roundtrip(&mut stream, &mut reader, &solve_line());
+    for i in 1..=KILL_AFTER {
+        roundtrip(&mut stream, &mut reader, &link_line(i));
+    }
+    first.kill().expect("SIGKILL the serving process");
+    first.wait().expect("reaping the killed process");
+
+    // Restart on the same journal and run the remaining links. Replayed
+    // plans come back unleased, so the resubmit claims implicitly — no
+    // `claim` verb, no operator intervention.
+    let (mut second, addr) = spawn_server(&journal);
+    let (mut stream, mut reader) = connect(addr);
+    let resumed: Vec<String> = (KILL_AFTER + 1..=LINKS)
+        .map(|i| roundtrip(&mut stream, &mut reader, &link_line(i)))
+        .collect();
+    assert_eq!(
+        resumed,
+        expected[KILL_AFTER as usize..],
+        "the resumed chain must answer byte-identically to the uninterrupted run"
+    );
+    roundtrip(&mut stream, &mut reader, "{\"op\":\"shutdown\"}");
+    assert!(second.wait().expect("second server exits").success());
+
+    let _ = std::fs::remove_file(control_journal);
+    let _ = std::fs::remove_file(journal);
+}

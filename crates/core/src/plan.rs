@@ -62,6 +62,20 @@ impl DecompositionPlan {
         }
     }
 
+    /// Reassembles a plan from parts previously read off an existing plan —
+    /// the decode half of the engine's durable plan codec. `total_cost` is
+    /// restored verbatim (not recomputed) so a decoded plan is bit-identical
+    /// to the encoded one; [`DecompositionPlan::validate`] still audits the
+    /// recorded cost against the recomputed one like any other plan, so a
+    /// corrupted cost cannot slip through as valid.
+    pub fn from_parts(algorithm: &'static str, bins: Vec<PlannedBin>, total_cost: f64) -> Self {
+        DecompositionPlan {
+            algorithm,
+            bins,
+            total_cost,
+        }
+    }
+
     /// Appends one posted instance of `bin` holding `tasks`, accumulating its
     /// cost.
     pub fn push(&mut self, bin: &TaskBin, tasks: Vec<TaskId>) {

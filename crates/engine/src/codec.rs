@@ -1,0 +1,510 @@
+//! A versioned, bit-exact JSON codec for [`ResolvedPlan`] — the
+//! serialization half of plan durability.
+//!
+//! A [`ResolvedPlan`] is more than its merged plan: resubmission needs the
+//! original request (algorithm, workload, bin menu, seed), the per-shard
+//! work descriptors, the raw pre-remap shard outputs, and the producing
+//! engine's solver knob words. [`encode`] captures all of it in one JSON
+//! object; [`decode`] reassembles a plan that **resubmits byte-identically
+//! to the original** — the property the server's journal-replay recovery
+//! rests on, pinned by this module's tests and the kill-and-restart e2e.
+//!
+//! Encoding rules, chosen so round trips are exact:
+//!
+//! * finite `f64`s (thresholds, costs, confidences) travel as JSON
+//!   numbers — the shared [`slade_json`] serializer prints shortest
+//!   round-trip form, so the parse of the print is the same bit pattern;
+//! * full-width `u64`s (the seed, signatures, knob words) travel as
+//!   `"0x…"` hex strings — an `f64` JSON number is only exact to 2⁵³;
+//! * the workload and bin menu are stored structurally (task counts,
+//!   thresholds, `(l, r, c)` triples) and rebuilt through their normal
+//!   validating constructors, with FNV signatures stored alongside as an
+//!   integrity check against silent corruption;
+//! * sub-plans keep their raw shard-local task ids; the merged plan is
+//!   stored only when it does not alias `subs[0]` (the unwrapped
+//!   single-shard case stores `null` and re-aliases on decode), so the
+//!   decoded plan has the same sharing structure as the original.
+//!
+//! The object carries a version member (`"v"`); [`decode`] rejects
+//! versions it does not understand rather than guessing. Decoding is
+//! total: malformed or corrupted input — including a journal tail hit by
+//! a crash mid-append — returns `Err`, never panics, and a decoded merged
+//! plan is audited against its own workload and bin menu before being
+//! accepted.
+
+use crate::service::{EngineRequest, ResolvedPlan, ShardWork};
+use slade_core::bin_set::BinSet;
+use slade_core::fingerprint::KnobSink;
+use slade_core::plan::{DecompositionPlan, PlannedBin};
+use slade_core::solver::Algorithm;
+use slade_core::task::{TaskId, Workload};
+use slade_json::{member, Json};
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// The codec's current (and only) format version.
+pub const CODEC_VERSION: u32 = 1;
+
+/// Serializes a resolved plan into one self-contained JSON object.
+///
+/// The output is deterministic (member order is fixed, floats print in
+/// shortest-round-trip form), so `encode(decode(encode(x)))` is the same
+/// byte string as `encode(x)` — the journal's replay-idempotence tests
+/// compare exactly that.
+pub fn encode(resolved: &ResolvedPlan) -> Json {
+    let workload = resolved.workload();
+    let bins = resolved.bins();
+    let merged =
+        if !resolved.subs().is_empty() && Arc::ptr_eq(resolved.merged(), &resolved.subs()[0]) {
+            // Unwrapped single shard: the merged plan aliases `subs[0]`; store
+            // the aliasing, not a second copy.
+            Json::Null
+        } else {
+            encode_plan(resolved.merged())
+        };
+    Json::Object(vec![
+        member("v", Json::number(f64::from(CODEC_VERSION))),
+        member("algorithm", Json::string(resolved.algorithm().name())),
+        member("seed", hex(resolved.seed())),
+        member("workload", encode_workload(workload)),
+        member("workload_sig", hex(workload.signature())),
+        member(
+            "bins",
+            Json::Array(
+                bins.bins()
+                    .iter()
+                    .map(|b| {
+                        Json::Array(vec![
+                            Json::number(f64::from(b.cardinality())),
+                            Json::number(b.confidence()),
+                            Json::number(b.cost()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        member("bins_sig", hex(bins.signature())),
+        member(
+            "knobs",
+            Json::Array(resolved.knob_words().iter().map(|&w| hex(w)).collect()),
+        ),
+        member(
+            "works",
+            Json::Array(resolved.works().iter().map(encode_work).collect()),
+        ),
+        member(
+            "subs",
+            Json::Array(resolved.subs().iter().map(|s| encode_plan(s)).collect()),
+        ),
+        member("merged", merged),
+        member(
+            "reused_shards",
+            Json::number(resolved.reused_shards() as f64),
+        ),
+    ])
+}
+
+/// Reassembles a resolved plan from [`encode`]'s output.
+///
+/// Total over arbitrary input: structural problems, version mismatches,
+/// signature mismatches, and plans that fail their own audit all come back
+/// as `Err(description)` — a corrupted journal record can never panic the
+/// replayer or smuggle in an inconsistent plan.
+pub fn decode(json: &Json) -> Result<ResolvedPlan, String> {
+    let version = u32_of(req(json, "v")?, "`v`")?;
+    if version != CODEC_VERSION {
+        return Err(format!(
+            "unsupported plan codec version {version} (this build reads {CODEC_VERSION})"
+        ));
+    }
+
+    let algorithm_name = str_of(req(json, "algorithm")?, "`algorithm`")?;
+    let algorithm = Algorithm::from_str(algorithm_name)
+        .map_err(|_| format!("unknown algorithm `{algorithm_name}`"))?;
+    let seed = hex_of(req(json, "seed")?, "`seed`")?;
+
+    let workload = decode_workload(req(json, "workload")?)?;
+    let workload_sig = hex_of(req(json, "workload_sig")?, "`workload_sig`")?;
+    if workload.signature() != workload_sig {
+        return Err("workload signature mismatch (corrupted record?)".into());
+    }
+
+    let mut triples: Vec<(u32, f64, f64)> = Vec::new();
+    for bin in array_of(req(json, "bins")?, "`bins`")? {
+        let parts = array_of(bin, "bin triple")?;
+        if parts.len() != 3 {
+            return Err("bin triple must be [cardinality, confidence, cost]".into());
+        }
+        triples.push((
+            u32_of(&parts[0], "bin cardinality")?,
+            f64_of(&parts[1], "bin confidence")?,
+            f64_of(&parts[2], "bin cost")?,
+        ));
+    }
+    let bins = Arc::new(BinSet::new(triples).map_err(|e| format!("invalid bin set: {e}"))?);
+    let bins_sig = hex_of(req(json, "bins_sig")?, "`bins_sig`")?;
+    if bins.signature() != bins_sig {
+        return Err("bin set signature mismatch (corrupted record?)".into());
+    }
+
+    let mut knobs = KnobSink::new();
+    for word in array_of(req(json, "knobs")?, "`knobs`")? {
+        // `write_u64` records the word verbatim, so this loop reconstructs
+        // the producing engine's sink exactly.
+        knobs.write_u64(hex_of(word, "knob word")?);
+    }
+
+    let works = array_of(req(json, "works")?, "`works`")?
+        .iter()
+        .map(decode_work)
+        .collect::<Result<Vec<ShardWork>, String>>()?;
+    let subs = array_of(req(json, "subs")?, "`subs`")?
+        .iter()
+        .map(|sub| decode_plan(sub).map(Arc::new))
+        .collect::<Result<Vec<Arc<DecompositionPlan>>, String>>()?;
+    if works.len() != subs.len() || works.is_empty() {
+        return Err(format!(
+            "shard tables disagree: {} work descriptor(s) vs {} sub-plan(s)",
+            works.len(),
+            subs.len()
+        ));
+    }
+
+    let merged = req(json, "merged")?;
+    let plan = if matches!(merged, Json::Null) {
+        Arc::clone(&subs[0])
+    } else {
+        Arc::new(decode_plan(merged)?)
+    };
+    // The merged plan carries global task ids, so it can be audited against
+    // the decoded instance; sub-plans keep shard-local ids and cannot.
+    plan.validate(&workload, &bins)
+        .map_err(|e| format!("decoded plan failed its audit: {e}"))?;
+
+    let reused_shards = u32_of(req(json, "reused_shards")?, "`reused_shards`")? as usize;
+
+    let request = EngineRequest::new(algorithm, workload, bins).with_seed(seed);
+    Ok(ResolvedPlan::from_codec_parts(
+        request,
+        works,
+        knobs,
+        subs,
+        plan,
+        reused_shards,
+    ))
+}
+
+fn encode_workload(workload: &Workload) -> Json {
+    if workload.is_homogeneous() {
+        Json::Object(vec![
+            member("tasks", Json::number(f64::from(workload.len()))),
+            member("threshold", Json::number(workload.threshold(0))),
+        ])
+    } else {
+        Json::Object(vec![member(
+            "thresholds",
+            Json::Array(
+                (0..workload.len())
+                    .map(|i| Json::number(workload.threshold(i)))
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+fn decode_workload(json: &Json) -> Result<Workload, String> {
+    if let Some(tasks) = json.get("tasks") {
+        let n = u32_of(tasks, "workload `tasks`")?;
+        let t = f64_of(req(json, "threshold")?, "workload `threshold`")?;
+        Workload::homogeneous(n, t).map_err(|e| format!("invalid workload: {e}"))
+    } else {
+        let thresholds = array_of(req(json, "thresholds")?, "workload `thresholds`")?
+            .iter()
+            .map(|t| f64_of(t, "workload threshold"))
+            .collect::<Result<Vec<f64>, String>>()?;
+        // `heterogeneous` collapses an all-equal vector to the homogeneous
+        // representation exactly like the original construction did, so the
+        // decoded workload is structurally identical, not just equal.
+        Workload::heterogeneous(thresholds).map_err(|e| format!("invalid workload: {e}"))
+    }
+}
+
+fn encode_work(work: &ShardWork) -> Json {
+    match work {
+        ShardWork::Opq { n, threshold } => Json::Object(vec![
+            member("n", Json::number(f64::from(*n))),
+            member("threshold", Json::number(*threshold)),
+        ]),
+        ShardWork::Prepared => Json::string("prepared"),
+    }
+}
+
+fn decode_work(json: &Json) -> Result<ShardWork, String> {
+    match json {
+        Json::String(s) if s == "prepared" => Ok(ShardWork::Prepared),
+        Json::Object(_) => Ok(ShardWork::Opq {
+            n: u32_of(req(json, "n")?, "shard `n`")?,
+            threshold: f64_of(req(json, "threshold")?, "shard `threshold`")?,
+        }),
+        other => Err(format!(
+            "shard work must be an object or \"prepared\", got {}",
+            other.type_name()
+        )),
+    }
+}
+
+fn encode_plan(plan: &DecompositionPlan) -> Json {
+    Json::Object(vec![
+        member("algorithm", Json::string(plan.algorithm())),
+        member("cost", Json::number(plan.total_cost())),
+        member(
+            "bins",
+            Json::Array(
+                plan.bins()
+                    .iter()
+                    .map(|bin| {
+                        Json::Array(vec![
+                            Json::number(f64::from(bin.cardinality())),
+                            Json::Array(
+                                bin.tasks()
+                                    .iter()
+                                    .map(|&t| Json::number(f64::from(t)))
+                                    .collect(),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_plan(json: &Json) -> Result<DecompositionPlan, String> {
+    let label = plan_label(str_of(req(json, "algorithm")?, "plan `algorithm`")?)?;
+    let cost = f64_of(req(json, "cost")?, "plan `cost`")?;
+    let mut bins: Vec<PlannedBin> = Vec::new();
+    for posted in array_of(req(json, "bins")?, "plan `bins`")? {
+        let pair = array_of(posted, "posted bin")?;
+        if pair.len() != 2 {
+            return Err("posted bin must be [cardinality, [tasks…]]".into());
+        }
+        let cardinality = u32_of(&pair[0], "posted-bin cardinality")?;
+        let tasks = array_of(&pair[1], "posted-bin tasks")?
+            .iter()
+            .map(|t| u32_of(t, "task id").map(|id| id as TaskId))
+            .collect::<Result<Vec<TaskId>, String>>()?;
+        bins.push(PlannedBin::new(cardinality, tasks));
+    }
+    Ok(DecompositionPlan::from_parts(label, bins, cost))
+}
+
+/// Maps a stored plan label back to the `&'static str` the solver registry
+/// stamps on plans. Every engine-produced plan is labeled by some
+/// registered solver, so an unknown label means corruption.
+fn plan_label(name: &str) -> Result<&'static str, String> {
+    Algorithm::ALL
+        .iter()
+        .map(|a| a.solver().name())
+        .find(|n| *n == name)
+        .ok_or_else(|| format!("unknown plan label `{name}`"))
+}
+
+fn hex(value: u64) -> Json {
+    Json::string(format!("{value:#x}"))
+}
+
+fn req<'a>(json: &'a Json, key: &str) -> Result<&'a Json, String> {
+    json.get(key)
+        .ok_or_else(|| format!("missing member `{key}`"))
+}
+
+fn str_of<'a>(json: &'a Json, what: &str) -> Result<&'a str, String> {
+    json.as_str()
+        .ok_or_else(|| format!("{what} must be a string, got {}", json.type_name()))
+}
+
+fn array_of<'a>(json: &'a Json, what: &str) -> Result<&'a [Json], String> {
+    json.as_array()
+        .ok_or_else(|| format!("{what} must be an array, got {}", json.type_name()))
+}
+
+fn f64_of(json: &Json, what: &str) -> Result<f64, String> {
+    json.as_f64()
+        .ok_or_else(|| format!("{what} must be a number, got {}", json.type_name()))
+}
+
+fn u32_of(json: &Json, what: &str) -> Result<u32, String> {
+    let x = f64_of(json, what)?;
+    if x.fract() != 0.0 || !(0.0..=f64::from(u32::MAX)).contains(&x) {
+        return Err(format!("{what} must be an integer in u32 range, got {x}"));
+    }
+    Ok(x as u32)
+}
+
+fn hex_of(json: &Json, what: &str) -> Result<u64, String> {
+    let s = str_of(json, what)?;
+    let digits = s
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("{what} must be a 0x-prefixed hex string, got `{s}`"))?;
+    u64::from_str_radix(digits, 16).map_err(|_| format!("{what} is not valid hex: `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Engine, EngineConfig, WorkloadDelta};
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig {
+            threads: 2,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn paper_bins() -> Arc<BinSet> {
+        Arc::new(BinSet::paper_example())
+    }
+
+    fn requests() -> Vec<EngineRequest> {
+        let mut out = vec![
+            // Example 9: homogeneous OPQ, single unwrapped shard.
+            EngineRequest::new(
+                Algorithm::OpqBased,
+                Workload::homogeneous(4, 0.95).unwrap(),
+                paper_bins(),
+            ),
+            // Heterogeneous buckets: multi-shard with remaps and a merged
+            // plan distinct from subs[0]. Awkward decimals on purpose.
+            EngineRequest::new(
+                Algorithm::OpqExtended,
+                Workload::heterogeneous(vec![0.95, 0.8, 0.95, 0.1 + 0.2, 0.8, 0.99]).unwrap(),
+                paper_bins(),
+            ),
+            // Prepared pass-through shard.
+            EngineRequest::new(
+                Algorithm::Greedy,
+                Workload::homogeneous(7, 0.9).unwrap(),
+                paper_bins(),
+            ),
+            // Randomized solver: the seed must survive the round trip.
+            EngineRequest::new(
+                Algorithm::Baseline,
+                Workload::homogeneous(5, 0.9).unwrap(),
+                paper_bins(),
+            )
+            .with_seed(0xdead_beef_cafe_f00d),
+        ];
+        out.push(out[0].clone().with_seed(u64::MAX));
+        out
+    }
+
+    #[test]
+    fn encode_decode_is_the_identity_on_the_encoding() {
+        let engine = engine();
+        for request in requests() {
+            let resolved = engine.solve_resolved(request).unwrap();
+            let encoded = encode(&resolved).to_string();
+            let decoded = decode(&slade_json::parse(&encoded).unwrap()).unwrap();
+            // Bit-exact: re-encoding the decoded plan reproduces the bytes.
+            assert_eq!(encode(&decoded).to_string(), encoded);
+            assert_eq!(decoded.plan(), resolved.plan());
+            assert_eq!(decoded.workload(), resolved.workload());
+            assert_eq!(decoded.seed(), resolved.seed());
+            assert_eq!(decoded.shards(), resolved.shards());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn decoded_plans_resubmit_byte_identically() {
+        let engine = engine();
+        for request in requests() {
+            let deltas = if request.workload.is_homogeneous() {
+                vec![WorkloadDelta::Resize(9), WorkloadDelta::Resize(40)]
+            } else {
+                // Heterogeneous workloads can only shrink or append (growing
+                // needs thresholds), and only the bucketing solver runs them.
+                vec![
+                    WorkloadDelta::Resize(3),
+                    WorkloadDelta::Append(vec![0.5, 0.9]),
+                ]
+            };
+            let original = engine.solve_resolved(request).unwrap();
+            let decoded = decode(&encode(&original)).unwrap();
+            for delta in &deltas {
+                let from_original = engine.resubmit(&original, delta).unwrap();
+                let from_decoded = engine.resubmit(&decoded, delta).unwrap();
+                assert_eq!(from_decoded.plan(), from_original.plan());
+                // Shard reuse works identically across the decode boundary,
+                // so recovery loses none of the incremental speedup.
+                assert_eq!(from_decoded.reused_shards(), from_original.reused_shards());
+                assert_eq!(
+                    encode(&from_decoded).to_string(),
+                    encode(&from_original).to_string()
+                );
+            }
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn resubmitted_plans_round_trip_with_reused_shards() {
+        let engine = engine();
+        let request = EngineRequest::new(
+            Algorithm::OpqExtended,
+            Workload::heterogeneous(vec![0.95, 0.8, 0.95, 0.8, 0.99, 0.99]).unwrap(),
+            paper_bins(),
+        );
+        let resolved = engine.solve_resolved(request).unwrap();
+        // Appending one more 0.99-task leaves the other buckets untouched.
+        let grown = engine
+            .resubmit(&resolved, &WorkloadDelta::Append(vec![0.99]))
+            .unwrap();
+        assert!(grown.reused_shards() > 0, "delta should reuse shards");
+        let encoded = encode(&grown).to_string();
+        let decoded = decode(&slade_json::parse(&encoded).unwrap()).unwrap();
+        assert_eq!(decoded.reused_shards(), grown.reused_shards());
+        assert_eq!(encode(&decoded).to_string(), encoded);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn decode_rejects_corruption_without_panicking() {
+        let engine = engine();
+        let resolved = engine
+            .solve_resolved(EngineRequest::new(
+                Algorithm::OpqBased,
+                Workload::homogeneous(4, 0.95).unwrap(),
+                paper_bins(),
+            ))
+            .unwrap();
+        engine.shutdown();
+        let good = encode(&resolved).to_string();
+
+        // Wrong version, missing members, bad types, tampered payloads.
+        for bad in [
+            r#"{"v":2}"#.to_string(),
+            r#"{"v":1}"#.to_string(),
+            "[]".to_string(),
+            "null".to_string(),
+            good.replace("opq-based", "no-such-algorithm"),
+            good.replace("\"workload_sig\":\"0x", "\"workload_sig\":\"0xf"),
+            good.replace("\"bins_sig\":\"0x", "\"bins_sig\":\"0xf"),
+            good.replace("\"seed\":\"0x0\"", "\"seed\":7"),
+            good.replace("\"tasks\":4", "\"tasks\":0"),
+            good.replace("\"works\":[", "\"works\":[\"prepared\","),
+        ] {
+            if let Ok(json) = slade_json::parse(&bad) {
+                assert!(decode(&json).is_err(), "accepted corrupted record: {bad}");
+            }
+        }
+
+        // Every single-byte truncation either fails to parse or to decode —
+        // nothing in this pipeline panics on a torn record.
+        for cut in 1..good.len() {
+            if let Ok(json) = slade_json::parse(&good[..cut]) {
+                assert!(decode(&json).is_err(), "accepted truncation at {cut}");
+            }
+        }
+    }
+}

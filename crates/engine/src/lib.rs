@@ -99,6 +99,7 @@
 //! ```
 
 mod cache;
+pub mod codec;
 mod sched;
 mod service;
 mod store;
@@ -109,7 +110,7 @@ pub use service::{
     Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, RequestTrace, ResolvedHandle,
     ResolvedPlan, ShardNotify, WorkloadDelta,
 };
-pub use store::{PlanStore, SessionId, StoreError};
+pub use store::{FinishOutcome, PlanStore, SessionId, StoreError};
 // The fingerprint type cache keys are built from now lives in `slade_core`,
 // next to the signatures and solver knobs it hashes; re-exported here for
 // engine-facing callers.

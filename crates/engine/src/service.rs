@@ -239,7 +239,7 @@ enum ShardRemap {
 /// function of this value (plus the request-level bins/solver state, which
 /// resubmission holds fixed).
 #[derive(Debug, Clone, PartialEq)]
-enum ShardWork {
+pub(crate) enum ShardWork {
     /// A homogeneous OPQ solve of `n` tasks at `threshold`, accelerated by
     /// the artifact cache.
     Opq { n: u32, threshold: f64 },
@@ -564,6 +564,57 @@ impl ResolvedPlan {
     /// Total shards of this solve.
     pub fn shards(&self) -> usize {
         self.works.len()
+    }
+
+    // ---- durable-codec access (crate-private; see `crate::codec`) ----
+
+    /// The request's seed (randomized solvers consume it).
+    pub(crate) fn seed(&self) -> u64 {
+        self.request.seed
+    }
+
+    /// The per-shard work descriptors, index-aligned with `subs`.
+    pub(crate) fn works(&self) -> &[ShardWork] {
+        &self.works
+    }
+
+    /// The producing engine's solver knob words, verbatim.
+    pub(crate) fn knob_words(&self) -> &[u64] {
+        self.solver_knobs.words()
+    }
+
+    /// The raw (pre-remap) shard outputs.
+    pub(crate) fn subs(&self) -> &[Arc<DecompositionPlan>] {
+        &self.subs
+    }
+
+    /// The merged plan's shared handle (to detect the unwrapped
+    /// single-shard case, where it aliases `subs[0]`).
+    pub(crate) fn merged(&self) -> &Arc<DecompositionPlan> {
+        &self.plan
+    }
+
+    /// Reassembles a resolved plan from decoded parts — the codec's decode
+    /// half. The caller (only `crate::codec`) is responsible for handing
+    /// back exactly what the encode half read: index-aligned `works`/`subs`
+    /// and a `plan` that aliases `subs[0]` in the unwrapped single-shard
+    /// case, so a decoded plan resubmits byte-identically to the original.
+    pub(crate) fn from_codec_parts(
+        request: EngineRequest,
+        works: Vec<ShardWork>,
+        solver_knobs: slade_core::fingerprint::KnobSink,
+        subs: Vec<Arc<DecompositionPlan>>,
+        plan: Arc<DecompositionPlan>,
+        reused_shards: usize,
+    ) -> ResolvedPlan {
+        ResolvedPlan {
+            request,
+            works,
+            solver_knobs,
+            subs,
+            plan,
+            reused_shards,
+        }
     }
 }
 

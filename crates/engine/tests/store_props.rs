@@ -1,0 +1,241 @@
+//! Plan-store invariants: the O(1) request path (no full-table scans),
+//! the [`FinishOutcome`] contract for producers that lost their id, lazy
+//! lease expiry, and a seeded property sweep over random op interleavings
+//! pinning "a pending id's producer holds its lease" plus the live
+//! counters against a ground-truth scan.
+
+use slade_core::prelude::*;
+use slade_engine::{
+    Engine, EngineConfig, EngineRequest, FinishOutcome, PlanStore, ResolvedPlan, StoreError,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One small resolved plan per call; distinct `Arc`s on every call so
+/// tests can tell "whose plan landed" apart by pointer identity.
+fn plan() -> Arc<ResolvedPlan> {
+    let engine = Engine::new(EngineConfig {
+        threads: 1,
+        ..EngineConfig::default()
+    });
+    let request = EngineRequest::new(
+        Algorithm::OpqBased,
+        Workload::homogeneous(4, 0.95).unwrap(),
+        Arc::new(BinSet::paper_example()),
+    );
+    Arc::new(engine.solve_resolved(request).unwrap())
+}
+
+/// Regression for the O(n) `count_plans` scan the request path used to
+/// pay: with 1 000 retained plans, `begin_resubmit`/`finish`, `claim`,
+/// and `release` must not touch the scan counter at all.
+#[test]
+fn request_path_performs_no_full_table_scans() {
+    let store = PlanStore::new();
+    let shared = plan();
+    for i in 0..1_000 {
+        store.restore(&format!("plan-{i:04}"), Arc::clone(&shared));
+    }
+    assert_eq!(store.count(), 1_000);
+    let baseline = store.scans();
+
+    for i in 0..100 {
+        let id = format!("plan-{i:04}");
+        store.claim(1, &id).unwrap();
+        store.release(1, &id).unwrap();
+        let prior = store.begin_resubmit(1, &id, None).unwrap();
+        match store.finish(1, &id, Some(prior)) {
+            FinishOutcome::Applied => {}
+            other => panic!("resubmit by the marker holder must apply, got {other:?}"),
+        }
+        // Errors must be O(1) too — unknown ids and lease conflicts are
+        // the common failure modes on a busy store.
+        assert!(matches!(
+            store.begin_resubmit(1, "absent", None),
+            Err(StoreError::UnknownPlan { .. })
+        ));
+        // The resubmit left the lease with session 1; a takeover attempt
+        // is the O(1) conflict path.
+        assert!(matches!(
+            store.claim(2, &id),
+            Err(StoreError::LeaseHeld { owner: 1, .. })
+        ));
+        store.release(1, &id).unwrap();
+    }
+
+    assert_eq!(
+        store.scans(),
+        baseline,
+        "claim/release/resubmit must never scan the table"
+    );
+    // The one remaining scan is session teardown, off the request path.
+    store.drop_session(1);
+    assert_eq!(store.scans(), baseline + 1);
+}
+
+/// A producer that lost its id to `drop_session` mid-solve must not
+/// report false success: the plan lands *unleased* (and is claimable by
+/// anyone) when the id is free.
+#[test]
+fn lost_producer_lands_unleased_and_claimable() {
+    let store = PlanStore::new();
+    store.begin_produce(1, "w", None).unwrap();
+    store.drop_session(1); // connection died while the solve ran
+    assert_eq!(store.leases(), 0);
+
+    let produced = plan();
+    assert_eq!(
+        store.finish(1, "w", Some(Arc::clone(&produced))),
+        FinishOutcome::LandedUnleased
+    );
+    assert_eq!(store.count(), 1);
+    assert_eq!(store.leases(), 0, "a late landing takes no lease");
+
+    // Any other session can pick the plan up.
+    store.claim(2, "w").unwrap();
+    let prior = store.begin_resubmit(2, "w", None).unwrap();
+    assert!(Arc::ptr_eq(&prior, &produced));
+    let _ = store.finish(2, "w", Some(prior));
+}
+
+/// When the id has moved on (another producer re-landed it), the stale
+/// result is discarded — and the caller is told so.
+#[test]
+fn stale_producer_result_is_discarded_not_clobbered() {
+    let store = PlanStore::new();
+    store.begin_produce(1, "w", None).unwrap();
+    store.drop_session(1);
+
+    // Session 2 takes over the freed id and lands its own plan.
+    let winner = plan();
+    store.begin_produce(2, "w", None).unwrap();
+    assert_eq!(
+        store.finish(2, "w", Some(Arc::clone(&winner))),
+        FinishOutcome::Applied
+    );
+
+    // Session 1's solve finally completes: its result must not clobber.
+    assert_eq!(store.finish(1, "w", Some(plan())), FinishOutcome::Discarded);
+    let current = store.begin_resubmit(2, "w", None).unwrap();
+    assert!(Arc::ptr_eq(&current, &winner), "the takeover's plan stays");
+    let _ = store.finish(2, "w", None);
+
+    // A failure (`None`) with no marker left is a harmless no-op.
+    assert_eq!(store.finish(1, "w", None), FinishOutcome::Applied);
+    assert_eq!(store.count(), 1);
+}
+
+/// Lease TTL: an expired lease is reclaimable by another session (lazily,
+/// counted), while a *pending* id never expires — the producer's result
+/// still needs the lease to land under.
+#[test]
+fn expired_leases_are_reclaimable_but_pending_ids_never_expire() {
+    let store = PlanStore::new();
+    store.set_lease_ttl(Some(Duration::ZERO)); // every idle lease is expired
+    store.begin_produce(1, "w", None).unwrap();
+
+    // Pending: still owned, no matter the TTL.
+    assert!(matches!(
+        store.claim(2, "w"),
+        Err(StoreError::Pending { producer: 1, .. })
+    ));
+    assert_eq!(store.finish(1, "w", Some(plan())), FinishOutcome::Applied);
+    assert_eq!(store.leases(), 1);
+
+    // Idle now — session 2 reclaims the expired lease without a release.
+    store.claim(2, "w").unwrap();
+    assert_eq!(store.lease_expiries(), 1);
+    let prior = store.begin_resubmit(2, "w", None).unwrap();
+    let _ = store.finish(2, "w", Some(prior));
+
+    // With the TTL off, the same takeover is a conflict again.
+    store.set_lease_ttl(None);
+    assert!(matches!(
+        store.claim(3, "w"),
+        Err(StoreError::LeaseHeld { owner: 2, .. })
+    ));
+    assert_eq!(store.lease_conflicts(), 1);
+}
+
+/// A tiny deterministic LCG — the property sweep must replay identically
+/// run to run, so failures are quotable as a seed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn pick(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Seeded property sweep: random interleavings of every store op across
+/// 3 sessions and 6 ids, asserting after each step that (a) a pending
+/// id's producer holds its lease, (b) the O(1) `count()`/`leases()`
+/// counters match a ground-truth scan, and (c) nothing ever panics.
+#[test]
+fn random_interleavings_preserve_ownership_invariants() {
+    let shared = plan();
+    for seed in [7u64, 42, 0xBEEF, 0x5EED] {
+        let mut rng = Lcg(seed);
+        let store = PlanStore::new();
+        for step in 0..1_500 {
+            let session = 1 + rng.pick(3);
+            let id = format!("id-{}", rng.pick(6));
+            match rng.pick(8) {
+                0 => {
+                    let _ = store.begin_produce(session, &id, None);
+                }
+                1 => {
+                    let _ = store.begin_resubmit(session, &id, None);
+                }
+                2 => {
+                    let _ = store.finish(session, &id, Some(Arc::clone(&shared)));
+                }
+                3 => {
+                    let _ = store.finish(session, &id, None);
+                }
+                4 => {
+                    let _ = store.claim(session, &id);
+                }
+                5 => {
+                    let _ = store.release(session, &id);
+                }
+                6 => store.drop_session(session),
+                _ => store.set_lease_ttl(match rng.pick(3) {
+                    0 => None,
+                    1 => Some(Duration::ZERO),
+                    _ => Some(Duration::from_secs(3_600)),
+                }),
+            }
+
+            let rows = store.debug_ownership();
+            for (id, _, lease, pending) in &rows {
+                if let Some(producer) = pending {
+                    assert_eq!(
+                        lease.as_ref(),
+                        Some(producer),
+                        "seed {seed} step {step}: pending id `{id}` not leased to its producer"
+                    );
+                }
+            }
+            let plans = rows.iter().filter(|(_, has_plan, ..)| *has_plan).count();
+            let leased = rows
+                .iter()
+                .filter(|(_, _, lease, _)| lease.is_some())
+                .count();
+            assert_eq!(store.count(), plans, "seed {seed} step {step}: plan count");
+            assert_eq!(
+                store.leases(),
+                leased,
+                "seed {seed} step {step}: lease count"
+            );
+        }
+    }
+}

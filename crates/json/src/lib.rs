@@ -1,0 +1,590 @@
+//! The workspace's one JSON implementation: parser **and** serializer.
+//!
+//! The offline build environment has no serde; this crate implements the
+//! full JSON value grammar (RFC 8259) — objects, arrays, strings with
+//! escapes, numbers, booleans, null — with byte positions in error
+//! messages, plus the matching compact serializer ([`Json`]'s [`Display`]).
+//! The CLI's `batch` subcommand, the `slade-server` wire protocol, and the
+//! engine's durable plan codec all parse and print through it, so none of
+//! them can drift apart. (It started life as `slade_server::json` and was
+//! lifted into its own crate when the engine's journal codec needed the
+//! same serializer without a dependency on the server.)
+//!
+//! Numbers are `f64`, which is exact for every integer a request can
+//! legitimately carry (task counts fit `u32`, seeds of interest fit 2⁵³;
+//! full-width `u64` values such as knob words travel as hex strings, not
+//! numbers). Serialization uses Rust's shortest-round-trip float
+//! formatting, so a value survives `parse(format!("{json}"))`
+//! **bit-identically** — the property the server's byte-identical plan
+//! contract and the journal's replay contract both rest on.
+//!
+//! [`Display`]: std::fmt::Display
+
+use std::fmt;
+
+/// A parsed JSON value. Object keys keep insertion order (requests are tiny,
+/// so lookup is a linear scan).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects; `None` on missing key or non-object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object members, if the value is an object.
+    pub fn members(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Short name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "boolean",
+            Json::Number(_) => "number",
+            Json::String(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+
+    /// A number value.
+    ///
+    /// # Panics
+    /// Panics on non-finite input — the serializer has no representation
+    /// for NaN or infinity (RFC 8259 has none either), and the parser on
+    /// the other end rejects them, so constructing one is always a bug.
+    pub fn number(x: f64) -> Json {
+        assert!(x.is_finite(), "JSON cannot represent {x}");
+        Json::Number(x)
+    }
+
+    /// A string value.
+    pub fn string(s: impl Into<String>) -> Json {
+        Json::String(s.into())
+    }
+}
+
+/// Builds one object member; sugar keeping literal objects readable.
+pub fn member(key: &str, value: Json) -> (String, Json) {
+    (key.to_string(), value)
+}
+
+/// The compact serializer: no whitespace, object members in insertion
+/// order, strings through [`escape`], and numbers in Rust's
+/// shortest-round-trip decimal form (integers without a trailing `.0`) —
+/// so `parse(x.to_string()) == x` bit-for-bit for every finite value.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Number(x) => {
+                debug_assert!(x.is_finite(), "serializing non-finite number {x}");
+                // Integers in the f64-exact range print without a fraction;
+                // everything else uses Display's shortest form that parses
+                // back to the same f64. -0.0 must take the Display branch
+                // (printing "-0"): the integer cast would print "0", which
+                // parses back as +0.0 and breaks the bit-identity contract.
+                let negative_zero = *x == 0.0 && x.is_sign_negative();
+                if x.fract() == 0.0 && x.abs() < 9.007_199_254_740_992e15 && !negative_zero {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Json::String(s) => write!(f, "\"{}\"", escape(s)),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(members) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "\"{}\":{value}", escape(key))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Maximum container nesting depth. The parser recurses per level, so an
+/// unbounded `[[[[…` would overflow the thread stack; 128 levels is far
+/// beyond any legitimate batch request while keeping recursion trivially
+/// safe.
+const MAX_DEPTH: usize = 128;
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Current container nesting depth, bounded by [`MAX_DEPTH`].
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", byte as char, self.pos))
+        }
+    }
+
+    /// Runs one container parser a level deeper, enforcing [`MAX_DEPTH`].
+    fn nested(&mut self, inner: fn(&mut Self) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        let result = inner(self);
+        self.depth -= 1;
+        result
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected `{}` at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            // RFC 8259 leaves duplicate-key behavior undefined; silently
+            // keeping one value would drop user input, so reject instead
+            // (consistent with the batch parser's unknown-field strictness).
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate object key `{key}`"));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        other => {
+                            return Err(format!(
+                                "invalid escape `\\{}` at byte {}",
+                                other as char, self.pos
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).expect("input is valid UTF-8");
+                    let ch = s.chars().next().expect("non-empty by peek");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| "truncated \\u escape".to_string())?;
+        let hex = std::str::from_utf8(hex).map_err(|_| "non-ASCII \\u escape".to_string())?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| format!("invalid \\u escape `{hex}`"))?;
+        self.pos += 4;
+        // Surrogate pairs are not supported — the batch request schema is
+        // ASCII identifiers and numbers; reject rather than mis-decode.
+        char::from_u32(code).ok_or_else(|| format!("unpaired surrogate \\u{hex}"))
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        let number = text
+            .parse::<f64>()
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))?;
+        // `"1e999".parse::<f64>()` happily returns infinity; no batch field
+        // means anything at that magnitude, so reject instead of letting an
+        // overflow masquerade as a valid value downstream.
+        if !number.is_finite() {
+            return Err(format!("number `{text}` overflows f64 at byte {start}"));
+        }
+        Ok(Json::Number(number))
+    }
+}
+
+/// Escapes a string for embedding in JSON output.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_batch_request_line() {
+        let line = r#"{"algorithm": "opq-based", "tasks": 100, "threshold": 0.95,
+                       "bins": [[1, 0.9, 0.1], [3, 0.8, 0.24]], "seed": 7}"#;
+        let v = parse(line).unwrap();
+        assert_eq!(v.get("algorithm").unwrap().as_str(), Some("opq-based"));
+        assert_eq!(v.get("tasks").unwrap().as_f64(), Some(100.0));
+        assert_eq!(v.get("threshold").unwrap().as_f64(), Some(0.95));
+        let bins = v.get("bins").unwrap().as_array().unwrap();
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[1].as_array().unwrap()[2].as_f64(), Some(0.24));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parses_scalars_and_structure() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("-1.5e2").unwrap(), Json::Number(-150.0));
+        assert_eq!(parse("[]").unwrap(), Json::Array(vec![]));
+        assert_eq!(parse(" { } ").unwrap(), Json::Object(vec![]));
+        assert_eq!(
+            parse(r#""a\nbA\"""#).unwrap(),
+            Json::String("a\nbA\"".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            r#"{"a" 1}"#,
+            "tru",
+            "1 2",
+            r#"{"a": }"#,
+            "\"unterminated",
+            r#""\q""#,
+            "nul",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_object_keys_are_rejected() {
+        let err = parse(r#"{"tasks": 5, "tasks": 500000}"#).unwrap_err();
+        assert!(err.contains("`tasks`"), "{err}");
+        // Same key at different nesting levels is fine.
+        assert!(parse(r#"{"a": {"a": 1}}"#).is_ok());
+    }
+
+    #[test]
+    fn overflowing_exponents_are_rejected_not_infinities() {
+        for bad in ["1e999", "-1e999", "1e309", "123456789e4000"] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("overflows"), "{bad}: {err}");
+        }
+        // The largest finite magnitudes still parse.
+        assert_eq!(parse("1e308").unwrap(), Json::Number(1e308));
+        assert_eq!(
+            parse("-1.7976931348623157e308").unwrap(),
+            Json::Number(f64::MIN)
+        );
+        // Underflow to zero is a finite value, not an error.
+        assert_eq!(parse("1e-999").unwrap(), Json::Number(0.0));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_before_the_stack_gives_out() {
+        // 128 levels are fine; 129 are not — and 100k must error, not crash.
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        for levels in [MAX_DEPTH + 1, 100_000] {
+            let too_deep = format!("{}0{}", "[".repeat(levels), "]".repeat(levels));
+            let err = parse(&too_deep).unwrap_err();
+            assert!(err.contains("nesting deeper"), "{levels}: {err}");
+        }
+        // Mixed object/array nesting counts against the same budget.
+        let mixed = format!("{}0{}", r#"{"a":["#.repeat(70), "]}".repeat(70));
+        assert!(parse(&mixed).unwrap_err().contains("nesting deeper"));
+    }
+
+    #[test]
+    fn lone_surrogates_in_strings_are_rejected() {
+        for bad in [r#""\ud800""#, r#""\udfff""#, r#""a\ud834b""#] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("surrogate"), "{bad}: {err}");
+        }
+        // Non-surrogate BMP escapes still decode.
+        assert_eq!(parse(r#""é""#).unwrap(), Json::String("é".into()));
+    }
+
+    #[test]
+    fn duplicate_keys_across_nesting_levels_are_distinct() {
+        // The same key may recur at different depths and in sibling objects;
+        // only true duplicates within one object are rejected.
+        assert!(parse(r#"{"a": {"a": {"a": 1}}, "b": {"a": 2}}"#).is_ok());
+        assert!(parse(r#"[{"a": 1}, {"a": 2}]"#).is_ok());
+        let err = parse(r#"{"a": {"b": 1, "b": 2}}"#).unwrap_err();
+        assert!(err.contains("`b`"), "{err}");
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let encoded = format!("\"{}\"", escape(nasty));
+        assert_eq!(parse(&encoded).unwrap(), Json::String(nasty.into()));
+    }
+
+    #[test]
+    fn serializer_is_compact_and_stable() {
+        let value = Json::Object(vec![
+            member("ok", Json::Bool(true)),
+            member("op", Json::string("solve")),
+            member("tasks", Json::number(4.0)),
+            member("cost", Json::number(0.68)),
+            member("none", Json::Null),
+            member(
+                "bins",
+                Json::Array(vec![Json::number(1.0), Json::number(0.9)]),
+            ),
+            member("we\"ird", Json::string("a\nb")),
+        ]);
+        assert_eq!(
+            value.to_string(),
+            "{\"ok\":true,\"op\":\"solve\",\"tasks\":4,\"cost\":0.68,\
+             \"none\":null,\"bins\":[1,0.9],\"we\\\"ird\":\"a\\nb\"}"
+        );
+    }
+
+    #[test]
+    fn serialized_values_parse_back_bit_identically() {
+        // Shortest-round-trip float printing: the parse of the print is the
+        // original value, bit for bit — including awkward decimals, tiny
+        // magnitudes, and integers at the edge of f64 exactness.
+        let numbers = [
+            0.68,
+            0.1 + 0.2, // 0.30000000000000004
+            1e-300,
+            -1.7976931348623157e308,
+            9.007_199_254_740_991e15,
+            4.0,
+            -0.25,
+            -0.0, // serializes as "-0", not "0": the sign bit must survive
+            f64::from(u32::MAX),
+        ];
+        for &x in &numbers {
+            let printed = Json::number(x).to_string();
+            let Json::Number(back) = parse(&printed).unwrap() else {
+                panic!("{printed} did not parse as a number");
+            };
+            assert_eq!(x.to_bits(), back.to_bits(), "{x} round-tripped as {back}");
+        }
+        // Structures round-trip too (object member order is preserved).
+        let doc = r#"{"a":[1,2.5,"x"],"b":{"c":false},"d":null}"#;
+        let value = parse(doc).unwrap();
+        assert_eq!(value.to_string(), doc);
+        assert_eq!(parse(&value.to_string()).unwrap(), value);
+    }
+
+    #[test]
+    #[should_panic(expected = "JSON cannot represent")]
+    fn non_finite_numbers_are_rejected_at_construction() {
+        let _ = Json::number(f64::NAN);
+    }
+}

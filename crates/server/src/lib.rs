@@ -121,6 +121,7 @@
 //! [`ResolvedPlan`]: slade_engine::ResolvedPlan
 
 pub mod client;
+mod journal;
 pub mod json;
 mod line;
 pub mod protocol;

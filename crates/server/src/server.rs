@@ -51,6 +51,7 @@
 //!   (EOF, server shutdown, over-long line) drains the same way; only a
 //!   dead connection (write failure) discards in-flight responses.
 
+use crate::journal::Journal;
 use crate::json::{member, Json};
 use crate::line::LineBuffer;
 use crate::protocol::{self, Request};
@@ -58,8 +59,8 @@ use slade_core::bin_set::BinSet;
 use slade_core::plan::DecompositionPlan;
 use slade_core::solver::Algorithm;
 use slade_engine::{
-    Engine, EngineConfig, EngineError, EngineRequest, PlanHandle, PlanStore, RequestTrace,
-    ResolvedHandle, ResolvedPlan, SessionId, ShardNotify, StoreError,
+    Engine, EngineConfig, EngineError, EngineRequest, FinishOutcome, PlanHandle, PlanStore,
+    RequestTrace, ResolvedHandle, ResolvedPlan, SessionId, ShardNotify, StoreError,
 };
 use slade_obs::{
     Counter, Registry, RequestSpan, SpanRecord, SpanRing, WindowedCounter, WindowedHistogram,
@@ -130,6 +131,19 @@ pub struct ServerConfig {
     /// [`Server::metrics_local_addr`]). Hand-rolled and thread-per-
     /// connection like the main server; no other path is served.
     pub metrics_addr: Option<String>,
+    /// When set, every plan-store mutation (plan landed, lease released)
+    /// is appended to this JSONL journal, and the file is replayed into
+    /// the store at bind — retained plans survive a restart, recovering
+    /// byte-identical resubmit chains. Compacted atomically (rewrite to
+    /// `<path>.tmp` + rename) at bind and periodically. See the `journal`
+    /// module docs for the record grammar and the torn-tail rule.
+    pub journal: Option<PathBuf>,
+    /// When set, an idle plan lease expires this long after its holder's
+    /// last store operation on the id and becomes reclaimable by any
+    /// session (`claim`/`resubmit`) — a wedged client cannot pin a plan
+    /// forever. `None` (the default) keeps leases until released or the
+    /// session drops; a lease with a producer in flight never expires.
+    pub lease_ttl: Option<Duration>,
 }
 
 /// Observability configuration: latency histograms, request tracing, and
@@ -190,6 +204,8 @@ impl fmt::Debug for ServerConfig {
             )
             .field("obs", &self.obs)
             .field("metrics_addr", &self.metrics_addr)
+            .field("journal", &self.journal)
+            .field("lease_ttl", &self.lease_ttl)
             .finish()
     }
 }
@@ -204,6 +220,8 @@ impl Default for ServerConfig {
             request_middleware: None,
             obs: ObsOptions::default(),
             metrics_addr: None,
+            journal: None,
+            lease_ttl: None,
         }
     }
 }
@@ -436,6 +454,8 @@ struct Shared {
     /// Windowed view of cache evictions, for the health verb's
     /// cache-pressure signal.
     evictions_window: WindowedCounter,
+    /// The durable plan journal, when [`ServerConfig::journal`] was set.
+    journal: Option<Journal>,
 }
 
 impl Shared {
@@ -456,6 +476,27 @@ impl Shared {
         if current > previous {
             self.evictions_window.add(current - previous);
         }
+    }
+
+    /// Applies a producer's result to the store and journals a landed
+    /// plan. The [`FinishOutcome`] flows back so response builders can
+    /// distinguish a stored plan from one that lost its id while solving
+    /// (see `run_solve` / `Mux::finish`) — a discarded plan is never
+    /// journaled and never answered with success.
+    fn finish_store(
+        &self,
+        session: SessionId,
+        id: &str,
+        produced: Option<Arc<ResolvedPlan>>,
+    ) -> FinishOutcome {
+        let landed = produced.clone();
+        let outcome = self.store.finish(session, id, produced);
+        if outcome != FinishOutcome::Discarded {
+            if let (Some(journal), Some(plan)) = (&self.journal, landed) {
+                journal.land(&self.store, id, &plan);
+            }
+        }
+        outcome
     }
 }
 
@@ -517,6 +558,15 @@ impl Server {
         registry.gauge("build.info").set(1);
         registry.gauge("process.uptime_seconds").set(0);
         let obs = ServerObs::new(&config.obs, registry)?;
+        // Recovery happens at bind, before any session exists: replay the
+        // journal into the fresh store (tolerating a torn tail), then let
+        // `Journal::open`'s boot-time compaction rewrite the file clean.
+        let store = PlanStore::new();
+        store.set_lease_ttl(config.lease_ttl);
+        let journal = match config.journal {
+            None => None,
+            Some(path) => Some(Journal::open(path, &store)?),
+        };
         let shared = Arc::new(Shared {
             engine: Engine::new(config.engine),
             shutdown: AtomicBool::new(false),
@@ -528,12 +578,13 @@ impl Server {
             counters,
             obs,
             connections: AtomicUsize::new(0),
-            store: PlanStore::new(),
+            store,
             next_session: AtomicU64::new(1),
             started: Instant::now(),
             window: config.obs.window,
             evictions_seen: AtomicU64::new(0),
             evictions_window: WindowedCounter::new(config.obs.window, config.obs.window_slots),
+            journal,
         });
         Ok(Server {
             listener,
@@ -1434,7 +1485,7 @@ impl Session<'_> {
             .resubmit_submit_traced(&prior, delta, Some(notify), span.clone())
         {
             Err(e) => {
-                self.shared.store.finish(self.sid, &id, None);
+                let _ = self.shared.finish_store(self.sid, &id, None);
                 self.gate.release(&seq_key);
                 self.shared.counters.count_error();
                 let response =
@@ -1529,7 +1580,7 @@ impl Session<'_> {
         match resolved {
             Err(e) => {
                 if let Some(id) = &id {
-                    self.shared.store.finish(self.sid, id, None);
+                    let _ = self.shared.finish_store(self.sid, id, None);
                 }
                 self.engine_error("solve", &e)
             }
@@ -1537,14 +1588,16 @@ impl Session<'_> {
                 if let Some(span) = span {
                     span.record("merged");
                 }
-                let response =
-                    resolved_response("solve", id.as_deref(), None, &resolved, want_plan);
-                if let Some(id) = id {
-                    self.shared
-                        .store
-                        .finish(self.sid, &id, Some(Arc::new(resolved)));
+                match id {
+                    None => resolved_response("solve", None, None, &resolved, want_plan),
+                    Some(id) => {
+                        let resolved = Arc::new(resolved);
+                        let outcome =
+                            self.shared
+                                .finish_store(self.sid, &id, Some(Arc::clone(&resolved)));
+                        self.outcome_response("solve", &id, None, outcome, &resolved, want_plan)
+                    }
                 }
-                response
             }
         }
     }
@@ -1571,19 +1624,22 @@ impl Session<'_> {
             span.cloned(),
         ) {
             Err(e) => {
-                self.shared.store.finish(self.sid, id, None);
+                let _ = self.shared.finish_store(self.sid, id, None);
                 self.engine_error("resubmit", &e)
             }
             Ok(resolved) => {
                 if let Some(span) = span {
                     span.record("merged");
                 }
-                let response = resolved_response("resubmit", Some(id), None, &resolved, want_plan);
-                // Chained resubmits build on the latest state of the id.
-                self.shared
-                    .store
-                    .finish(self.sid, id, Some(Arc::new(resolved)));
-                response
+                // Chained resubmits build on the latest state of the id —
+                // and the store's verdict shapes the response, so a
+                // producer that lost the id mid-solve never reports a
+                // false success.
+                let resolved = Arc::new(resolved);
+                let outcome = self
+                    .shared
+                    .finish_store(self.sid, id, Some(Arc::clone(&resolved)));
+                self.outcome_response("resubmit", id, None, outcome, &resolved, want_plan)
             }
         }
     }
@@ -1596,12 +1652,19 @@ impl Session<'_> {
         };
         match moved {
             Err(e) => self.store_error(op, None, &e),
-            Ok(()) => Json::Object(vec![
-                member("ok", Json::Bool(true)),
-                member("op", Json::string(op)),
-                member("id", Json::string(id)),
-                member("session", Json::number(self.sid as f64)),
-            ]),
+            Ok(()) => {
+                if op == "release" {
+                    if let Some(journal) = &self.shared.journal {
+                        journal.release(&self.shared.store, id);
+                    }
+                }
+                Json::Object(vec![
+                    member("ok", Json::Bool(true)),
+                    member("op", Json::string(op)),
+                    member("id", Json::string(id)),
+                    member("session", Json::number(self.sid as f64)),
+                ])
+            }
         }
     }
 
@@ -1629,6 +1692,47 @@ impl Session<'_> {
             StoreError::UnknownPlan { .. } => ("unknown_plan", error.to_string()),
         };
         protocol::coded_error_response(Some(op), seq, Some(code), &message)
+    }
+
+    /// Shapes a producer's response from the store's verdict on the plan it
+    /// just landed. A normally applied plan answers as before; a plan that
+    /// landed *unleased* (the producer lost the id to its own session drop
+    /// mid-solve) still answers success but carries `"unleased":true` so
+    /// the client knows its lease is gone; a discarded plan (the id was
+    /// reassigned to another producer in the meantime) is a coded
+    /// `plan_not_stored` error — reporting success would be a lie.
+    fn outcome_response(
+        &self,
+        op: &'static str,
+        id: &str,
+        seq: Option<&Json>,
+        outcome: FinishOutcome,
+        resolved: &ResolvedPlan,
+        want_plan: bool,
+    ) -> Json {
+        match outcome {
+            FinishOutcome::Discarded => {
+                self.shared.counters.count_error();
+                protocol::coded_error_response(
+                    Some(op),
+                    seq,
+                    Some("plan_not_stored"),
+                    &format!(
+                        "plan id `{id}` was reassigned while this request was solving; \
+                         the result was not stored"
+                    ),
+                )
+            }
+            outcome => {
+                let mut response = resolved_response(op, Some(id), seq, resolved, want_plan);
+                if outcome == FinishOutcome::LandedUnleased {
+                    if let Json::Object(members) = &mut response {
+                        members.push(member("unleased", Json::Bool(true)));
+                    }
+                }
+                response
+            }
+        }
     }
 
     /// Runs a `batch` verb exactly the way `slade-cli batch` runs a JSONL
@@ -1873,6 +1977,12 @@ impl Session<'_> {
                         "lease_conflicts",
                         Json::number(shared.store.lease_conflicts() as f64),
                     ),
+                    // Appended members (wire compatibility: new members
+                    // land after every pre-existing one).
+                    member(
+                        "lease_expiries",
+                        Json::number(shared.store.lease_expiries() as f64),
+                    ),
                 ]),
             ),
             member(
@@ -1933,6 +2043,22 @@ impl Session<'_> {
                     ),
                     member("version", Json::string(env!("CARGO_PKG_VERSION"))),
                 ]),
+            ),
+            member(
+                "journal",
+                match &shared.journal {
+                    None => Json::Object(vec![member("enabled", Json::Bool(false))]),
+                    Some(journal) => Json::Object(vec![
+                        member("enabled", Json::Bool(true)),
+                        member("records", Json::number(journal.records() as f64)),
+                        member("replayed", Json::number(journal.replayed() as f64)),
+                        member(
+                            "append_errors",
+                            Json::number(journal.append_errors() as f64),
+                        ),
+                        member("compactions", Json::number(journal.compactions() as f64)),
+                    ]),
+                },
             ),
         ])
     }
@@ -2179,7 +2305,39 @@ fn refresh_cache_gauges(shared: &Shared) -> Vec<usize> {
     registry
         .gauge("process.uptime_seconds")
         .set(shared.started.elapsed().as_secs() as i64);
+    refresh_store_gauges(shared);
     shard_occupancy
+}
+
+/// Mirrors the plan store's O(1) counters (and, when journaling is on, the
+/// journal's) into registry gauges, so the `metrics` verb, `health`, and
+/// Prometheus scrapes all see the same durable-state numbers. Reader-driven
+/// like the cache gauges; nothing on the solve path pays for it.
+fn refresh_store_gauges(shared: &Shared) {
+    let registry = &shared.obs.registry;
+    let store = &shared.store;
+    registry.gauge("store.plans").set(store.count() as i64);
+    registry.gauge("store.leases").set(store.leases() as i64);
+    registry
+        .gauge("store.lease_conflicts")
+        .set(store.lease_conflicts() as i64);
+    registry
+        .gauge("store.lease_expiries")
+        .set(store.lease_expiries() as i64);
+    if let Some(journal) = &shared.journal {
+        registry
+            .gauge("journal.records")
+            .set(journal.records() as i64);
+        registry
+            .gauge("journal.replayed")
+            .set(journal.replayed() as i64);
+        registry
+            .gauge("journal.append_errors")
+            .set(journal.append_errors() as i64);
+        registry
+            .gauge("journal.compactions")
+            .set(journal.compactions() as i64);
+    }
 }
 
 /// Saturation thresholds for the health verb's signals: a signal is
@@ -2236,7 +2394,7 @@ fn evaluate_health(shared: &Shared) -> HealthReport {
     shared.mirror_evictions();
     refresh_cache_gauges(shared);
     let registry = &shared.obs.registry;
-    let mut signals = Vec::with_capacity(5);
+    let mut signals = Vec::with_capacity(6);
 
     // Queue saturation: admission queue depth against its configured
     // capacity. At 1.0 submissions block (or time out) — unhealthy.
@@ -2326,6 +2484,46 @@ fn evaluate_health(shared: &Shared) -> HealthReport {
             member("capacity", Json::number(cache_capacity as f64)),
             member("pressure", Json::number(pressure)),
         ],
+    });
+
+    // Durable-state pressure: the plan store's live counters, plus the
+    // journal's append-error count when journaling is on. A nonzero
+    // append-error count means recently landed plans may not survive a
+    // restart — the server still answers, but readiness degrades so an
+    // operator sees the durability gap before a crash makes it matter.
+    let mut store_detail = vec![
+        member("plans", Json::number(shared.store.count() as f64)),
+        member("leases", Json::number(shared.store.leases() as f64)),
+        member(
+            "lease_expiries",
+            Json::number(shared.store.lease_expiries() as f64),
+        ),
+    ];
+    let mut store_status = "ok";
+    let mut store_reason = None;
+    if let Some(journal) = &shared.journal {
+        let append_errors = journal.append_errors();
+        store_detail.push(member(
+            "journal_records",
+            Json::number(journal.records() as f64),
+        ));
+        store_detail.push(member(
+            "journal_append_errors",
+            Json::number(append_errors as f64),
+        ));
+        if append_errors > 0 {
+            store_status = "degraded";
+            store_reason = Some(format!(
+                "{append_errors} journal append failures — recently landed plans \
+                 may not be durable"
+            ));
+        }
+    }
+    signals.push(HealthSignal {
+        name: "store",
+        status: store_status,
+        reason: store_reason,
+        detail: store_detail,
     });
 
     // Informational: how many sessions are connected. Never degrades on
@@ -2631,7 +2829,7 @@ impl Mux<'_, '_> {
                 // Dead connection: nobody can read responses. Release the
                 // bookkeeping; dropping the handles abandons the shards.
                 if let PendingWork::Single { id: Some(id), .. } = &entry.work {
-                    self.session.shared.store.finish(self.session.sid, id, None);
+                    let _ = self.session.shared.finish_store(self.session.sid, id, None);
                 }
                 self.session.gate.release(&entry.seq_key);
                 // No response will ever be written; record the latency
@@ -2711,22 +2909,31 @@ impl Mux<'_, '_> {
                     (None, None) => unreachable!("a Single entry finishes with a result or fill"),
                 };
                 match result {
-                    Ok(resolved) => {
-                        let response =
-                            resolved_response(op, id.as_deref(), Some(&seq), &resolved, want_plan);
-                        if let Some(id) = id {
-                            shared
-                                .store
-                                .finish(self.session.sid, &id, Some(Arc::new(resolved)));
+                    Ok(resolved) => match id {
+                        None => resolved_response(op, None, Some(&seq), &resolved, want_plan),
+                        Some(id) => {
+                            let resolved = Arc::new(resolved);
+                            let outcome = shared.finish_store(
+                                self.session.sid,
+                                &id,
+                                Some(Arc::clone(&resolved)),
+                            );
+                            self.session.outcome_response(
+                                op,
+                                &id,
+                                Some(&seq),
+                                outcome,
+                                &resolved,
+                                want_plan,
+                            )
                         }
-                        response
-                    }
+                    },
                     Err(e) => {
                         if let Some(id) = &id {
                             // A failed producer releases the id; the
                             // previously retained plan (if any) stays the
                             // id's current state.
-                            shared.store.finish(self.session.sid, id, None);
+                            let _ = shared.finish_store(self.session.sid, id, None);
                         }
                         shared.counters.count_error();
                         protocol::error_response(Some(op), Some(&seq), &e.to_string())
